@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the kernels behind every experiment:
+//! SPEF parsing, analytical metrics, golden transient simulation, model
+//! inference (per plan) and the DAC'20 GBDT.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gnn::gbdt::GbdtConfig;
+use gnntrans::dac20::Dac20Estimator;
+use gnntrans::dataset::DatasetBuilder;
+use gnntrans::estimator::{EstimatorConfig, WireTimingEstimator};
+use netgen::nets::{NetConfig, NetGenerator};
+use rcnet::spef::{parse, write, SpefHeader};
+use rcnet::{RcNet, Seconds};
+use rcsim::{GoldenTimer, SiMode};
+
+fn sample_nets(n: usize, seed: u64) -> Vec<RcNet> {
+    let cfg = NetConfig {
+        nodes_min: 16,
+        nodes_max: 32,
+        ..Default::default()
+    };
+    let mut g = NetGenerator::new(seed, cfg);
+    (0..n).map(|i| g.net(format!("n{i}"), i % 2 == 0)).collect()
+}
+
+fn trained_estimator(nets: &[RcNet]) -> (WireTimingEstimator, DatasetBuilder) {
+    let mut builder = DatasetBuilder::new(1);
+    let data = builder.build(nets).expect("dataset");
+    let mut cfg = EstimatorConfig::plan_b_small();
+    cfg.epochs = 5;
+    let mut est = WireTimingEstimator::new(&cfg, 7);
+    est.train(&data).expect("train");
+    (est, builder)
+}
+
+fn bench_spef(c: &mut Criterion) {
+    let nets = sample_nets(20, 3);
+    let text = write(&SpefHeader::default(), &nets);
+    c.bench_function("spef_parse_20_nets", |b| {
+        b.iter(|| parse(std::hint::black_box(&text)).expect("parse"))
+    });
+    c.bench_function("spef_write_20_nets", |b| {
+        b.iter(|| write(&SpefHeader::default(), std::hint::black_box(&nets)))
+    });
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let nets = sample_nets(1, 5);
+    c.bench_function("elmore_analysis_32_nodes", |b| {
+        b.iter(|| elmore::WireAnalysis::new(std::hint::black_box(&nets[0])).expect("analysis"))
+    });
+}
+
+fn bench_golden(c: &mut Criterion) {
+    let nets = sample_nets(1, 7);
+    let timer = GoldenTimer::default().with_steps(2000);
+    c.bench_function("golden_transient_32_nodes", |b| {
+        b.iter(|| {
+            timer
+                .time_net(
+                    std::hint::black_box(&nets[0]),
+                    Seconds::from_ps(20.0),
+                    SiMode::Off,
+                )
+                .expect("sim")
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let nets = sample_nets(24, 9);
+    let (est, builder) = trained_estimator(&nets[..16]);
+    let probe = nets[20].clone();
+    let ctx = builder.context_for(&probe);
+    c.bench_function("gnntrans_inference_per_net", |b| {
+        b.iter(|| {
+            est.predict_net(std::hint::black_box(&probe), &ctx)
+                .expect("predict")
+        })
+    });
+
+    let data = DatasetBuilder::new(1).build(&nets[..16]).expect("dataset");
+    let dac = Dac20Estimator::fit(&data, &GbdtConfig::default()).expect("fit");
+    c.bench_function("dac20_inference_per_net", |b| {
+        b.iter(|| {
+            dac.predict_net(std::hint::black_box(&probe), &ctx)
+                .expect("predict")
+        })
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let nets = sample_nets(8, 11);
+    let mut builder = DatasetBuilder::new(1);
+    let data = builder.build(&nets).expect("dataset");
+    c.bench_function("gnntrans_train_epoch_8_nets", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = EstimatorConfig::plan_b_small();
+                cfg.epochs = 1;
+                WireTimingEstimator::new(&cfg, 3)
+            },
+            |mut est| {
+                est.train(&data).expect("train");
+                est
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Training-epoch iterations cost seconds; keep sampling tight so the
+    // full suite finishes in minutes.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_spef,
+        bench_analytic,
+        bench_golden,
+        bench_inference,
+        bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 2(b): distribution of wire-path counts per net over a large
+//! design — the paper observes a maximum of 49 with most nets at 10-30
+//! paths, which is what makes per-path graph learning tractable.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig2_stats [-- --scale X --seed N]
+//! ```
+
+use bench::{ExperimentConfig, TableWriter};
+use netgen::designs::{generate_design, paper_roster};
+use netgen::nets::NetConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    // The paper's "open-source circuit with 200k nets" is mirrored by the
+    // largest test design (OPENGFX, 231 934 nets) at the chosen scale,
+    // with the sink cap raised to the paper's observed ceiling.
+    let spec = paper_roster()
+        .into_iter()
+        .find(|d| d.name == "OPENGFX")
+        .expect("OPENGFX is in the roster");
+    // Heavier branching than the training nets so the sink-count
+    // distribution matches the paper's observation (most nets 10-30
+    // paths, max 49).
+    let net_cfg = NetConfig {
+        nodes_min: 24,
+        nodes_max: 72,
+        sinks_max: 49,
+        chain_bias: 0.3,
+        ..Default::default()
+    };
+    let scale = cfg.scale.max(2e-3);
+    let design = generate_design(&spec, scale, cfg.seed, net_cfg);
+
+    let counts: Vec<usize> = design.nets.iter().map(|n| n.paths().len()).collect();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+    let in_10_30 = counts.iter().filter(|&&c| (10..=30).contains(&c)).count();
+
+    let mut t = TableWriter::new(
+        format!(
+            "Fig. 2(b) — wire paths per net, {} @ scale {scale} ({} nets)",
+            spec.name,
+            counts.len()
+        ),
+        &["#paths bucket", "#nets", "histogram"],
+    );
+    let buckets: &[(usize, usize)] = &[(1, 4), (5, 9), (10, 19), (20, 30), (31, 49)];
+    for &(lo, hi) in buckets {
+        let n = counts.iter().filter(|&&c| c >= lo && c <= hi).count();
+        let bar_len = (n * 50 / counts.len().max(1)).min(60);
+        t.row(vec![
+            format!("{lo}-{hi}"),
+            n.to_string(),
+            "#".repeat(bar_len.max(usize::from(n > 0))),
+        ]);
+    }
+    println!("{t}");
+    println!("max paths on any net: {max} (paper: 49)");
+    println!("mean paths per net:   {mean:.1}");
+    println!(
+        "nets with 10-30 paths: {in_10_30} / {} ({:.0}%)",
+        counts.len(),
+        100.0 * in_10_30 as f64 / counts.len().max(1) as f64
+    );
+}

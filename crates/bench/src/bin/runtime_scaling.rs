@@ -1,0 +1,93 @@
+//! Runtime scaling of wire-timing inference (§IV-C): the paper reports
+//! 55.7 s average and 97.6 s for its largest design (~200 k nets). This
+//! harness measures single-thread estimator throughput against growing
+//! net counts, compares with the golden simulator on a subsample, and
+//! extrapolates to the paper's 200 k-net operating point.
+//!
+//! ```text
+//! cargo run -p bench --release --bin runtime_scaling [-- --seed N --epochs E]
+//! ```
+
+use bench::harness::ExperimentConfig;
+use bench::tables::TableWriter;
+use gnntrans::dataset::DatasetBuilder;
+use gnntrans::estimator::{EstimatorConfig, WireTimingEstimator};
+use netgen::nets::{NetConfig, NetGenerator};
+use rcsim::{GoldenTimer, SiMode};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let net_cfg = NetConfig {
+        nodes_min: 6,
+        nodes_max: 36,
+        ..Default::default()
+    };
+
+    // Train once.
+    eprintln!("[runtime] training estimator...");
+    let mut g = NetGenerator::new(cfg.seed, net_cfg.clone());
+    let train: Vec<_> = (0..300)
+        .map(|i| g.net(format!("t{i}"), i % 3 == 0))
+        .collect();
+    let builder = DatasetBuilder::new(cfg.seed);
+    let data = DatasetBuilder::new(cfg.seed)
+        .build(&train)
+        .expect("train data");
+    let mut ecfg = EstimatorConfig::plan_b_small();
+    ecfg.epochs = cfg.epochs.min(25);
+    let mut est = WireTimingEstimator::new(&ecfg, cfg.seed);
+    est.train(&data).expect("training");
+
+    let mut table = TableWriter::new(
+        "Wire-timing inference runtime scaling (single thread)",
+        &["#nets", "#paths", "total (s)", "us/net", "nets/s", "extrap. 200k (s)"],
+    );
+    let mut last_us_per_net = 0.0;
+    for &count in &[1_000usize, 5_000, 20_000] {
+        let nets: Vec<_> = (0..count)
+            .map(|i| g.net(format!("s{count}_{i}"), i % 3 == 0))
+            .collect();
+        let contexts: Vec<_> = nets.iter().map(|n| builder.context_for(n)).collect();
+        let paths: usize = nets.iter().map(|n| n.paths().len()).sum();
+
+        let start = Instant::now();
+        let out = est
+            .predict_many(nets.iter().zip(contexts.iter()).map(|(n, c)| (n, c)))
+            .expect("inference");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(out.len(), count);
+        let us_per_net = 1e6 * secs / count as f64;
+        last_us_per_net = us_per_net;
+        table.row(vec![
+            count.to_string(),
+            paths.to_string(),
+            format!("{secs:.2}"),
+            format!("{us_per_net:.0}"),
+            format!("{:.0}", count as f64 / secs),
+            format!("{:.1}", us_per_net * 0.2),
+        ]);
+    }
+    println!("{table}");
+
+    // Golden comparison on a 50-net subsample.
+    let sample: Vec<_> = (0..50)
+        .map(|i| g.net(format!("gold{i}"), i % 3 == 0))
+        .collect();
+    let start = Instant::now();
+    for net in &sample {
+        let ctx = builder.context_for(net);
+        GoldenTimer::new(0.8, ctx.drive_res)
+            .with_steps(2500)
+            .time_net(net, ctx.input_slew, SiMode::Off)
+            .expect("golden");
+    }
+    let golden_us = 1e6 * start.elapsed().as_secs_f64() / sample.len() as f64;
+    println!("golden transient simulation: {golden_us:.0} us/net");
+    println!(
+        "speedup estimator vs golden: {:.1}x  (paper: wire timing of the \
+         200k-net design in 97.6 s;\nextrapolated here: {:.1} s)",
+        golden_us / last_us_per_net,
+        last_us_per_net * 0.2
+    );
+}

@@ -1,0 +1,60 @@
+//! TABLE II: the benchmark roster, paper statistics next to the scaled
+//! generated counterpart.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2_benchmarks [-- --scale X --seed N]
+//! ```
+
+use bench::{ExperimentConfig, TableWriter};
+use netgen::designs::{generate_design, paper_roster};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let mut t = TableWriter::new(
+        format!("TABLE II — benchmark statistics (generated at scale {})", cfg.scale),
+        &[
+            "Split",
+            "Benchmark",
+            "#Cells(paper)",
+            "#Nets(paper)",
+            "(Non-tree)",
+            "#FFs",
+            "#CPs",
+            "#Nets(gen)",
+            "(Non-tree gen)",
+        ],
+    );
+    let mut tot: [u64; 4] = [0; 4];
+    for spec in paper_roster() {
+        let design = generate_design(&spec, cfg.scale, cfg.seed, cfg.net_config());
+        let gen_total = design.net_count() as u64;
+        let gen_nontree = design.nontree_nets().count() as u64;
+        tot[0] += spec.nets;
+        tot[1] += spec.nontree_nets;
+        tot[2] += gen_total;
+        tot[3] += gen_nontree;
+        t.row(vec![
+            if spec.train { "Train" } else { "Test" }.into(),
+            spec.name.into(),
+            spec.cells.to_string(),
+            spec.nets.to_string(),
+            format!("({})", spec.nontree_nets),
+            spec.ffs.to_string(),
+            spec.cps.to_string(),
+            gen_total.to_string(),
+            format!("({gen_nontree})"),
+        ]);
+    }
+    t.row(vec![
+        "".into(),
+        "Total".into(),
+        "".into(),
+        tot[0].to_string(),
+        format!("({})", tot[1]),
+        "".into(),
+        "".into(),
+        tot[2].to_string(),
+        format!("({})", tot[3]),
+    ]);
+    println!("{t}");
+}

@@ -1,0 +1,28 @@
+//! TABLE III: wire slew/delay estimation accuracy (R² score) on
+//! **non-tree** nets — the case where the DAC'20 loop-breaking baseline
+//! collapses and GNNTrans's global attention + path features win.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table3_nontree \
+//!     [-- --scale X --seed N --epochs E --quick]
+//! ```
+
+use bench::accuracy::run_accuracy_table;
+use bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    match run_accuracy_table(&cfg, true) {
+        Ok(table) => {
+            println!("{table}");
+            println!(
+                "Shape check vs paper TABLE III: GNNTrans highest, DAC20 \
+                 lowest, message-passing baselines in between."
+            );
+        }
+        Err(e) => {
+            eprintln!("table3_nontree failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

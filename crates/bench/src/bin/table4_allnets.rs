@@ -1,0 +1,28 @@
+//! TABLE IV: wire slew/delay estimation accuracy (R² score) on **all**
+//! nets (tree-like + non-tree). Scores run higher than TABLE III because
+//! tree nets are the easy case for every estimator.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table4_allnets \
+//!     [-- --scale X --seed N --epochs E --quick]
+//! ```
+
+use bench::accuracy::run_accuracy_table;
+use bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    match run_accuracy_table(&cfg, false) {
+        Ok(table) => {
+            println!("{table}");
+            println!(
+                "Shape check vs paper TABLE IV: same model ordering as \
+                 TABLE III with uniformly higher R² scores."
+            );
+        }
+        Err(e) => {
+            eprintln!("table4_allnets failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared experiment harness: roster dataset assembly, model zoo
+//! training, evaluation helpers and table formatting used by the
+//! `fig*`/`table*` binaries that regenerate the paper's results.
+
+pub mod accuracy;
+pub mod harness;
+pub mod tables;
+
+pub use harness::{
+    build_test_samples, build_train_dataset, eval_baseline, train_baselines, ExperimentConfig,
+};
+pub use tables::TableWriter;

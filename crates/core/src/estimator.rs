@@ -1,0 +1,665 @@
+//! The user-facing wire-timing estimator.
+
+use crate::features::{NetContext, NODE_DIM, PATH_DIM};
+use crate::scaler::Scaler;
+use crate::{CoreError, Dataset};
+use gnn::models::{GnnTrans, GnnTransConfig, GraphModel};
+use gnn::train::{train, TrainConfig, TrainReport};
+use rcnet::{NodeId, RcNet, Seconds};
+use tensor::{Mat, ParamSet};
+
+/// The paper's three depth configurations (TABLE V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// `L1 = 25, L2 = 5` — GNN-heavy, best on small designs.
+    A,
+    /// `L1 = 20, L2 = 10` — the default.
+    B,
+    /// `L1 = 15, L2 = 15` — transformer-heavy, best on large designs.
+    C,
+}
+
+impl Plan {
+    /// The `(L1, L2)` layer split at full paper depth.
+    pub fn layer_split(self) -> (usize, usize) {
+        match self {
+            Plan::A => (25, 5),
+            Plan::B => (20, 10),
+            Plan::C => (15, 15),
+        }
+    }
+
+    /// The same split scaled by `1/div` (for CPU-budget runs), each part
+    /// at least 1.
+    pub fn scaled_split(self, div: usize) -> (usize, usize) {
+        let (l1, l2) = self.layer_split();
+        ((l1 / div).max(1), (l2 / div).max(1))
+    }
+}
+
+/// Estimator hyper-parameters (architecture + training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorConfig {
+    /// `L1` GNN layers.
+    pub gnn_layers: usize,
+    /// `L2` attention layers.
+    pub attn_layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP head hidden width.
+    pub mlp_hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl EstimatorConfig {
+    fn with_split((gnn_layers, attn_layers): (usize, usize)) -> Self {
+        EstimatorConfig {
+            gnn_layers,
+            attn_layers,
+            hidden: 24,
+            heads: 4,
+            mlp_hidden: 32,
+            epochs: 40,
+            lr: 3e-3,
+        }
+    }
+
+    /// PlanA at full paper depth.
+    pub fn plan_a() -> Self {
+        Self::with_split(Plan::A.layer_split())
+    }
+
+    /// PlanB at full paper depth.
+    pub fn plan_b() -> Self {
+        Self::with_split(Plan::B.layer_split())
+    }
+
+    /// PlanC at full paper depth.
+    pub fn plan_c() -> Self {
+        Self::with_split(Plan::C.layer_split())
+    }
+
+    /// PlanA scaled 1/5 for CPU runs (`L1=5, L2=1`).
+    pub fn plan_a_small() -> Self {
+        Self::with_split(Plan::A.scaled_split(5))
+    }
+
+    /// PlanB scaled 1/5 for CPU runs (`L1=4, L2=2`).
+    pub fn plan_b_small() -> Self {
+        Self::with_split(Plan::B.scaled_split(5))
+    }
+
+    /// PlanC scaled 1/5 for CPU runs (`L1=3, L2=3`).
+    pub fn plan_c_small() -> Self {
+        Self::with_split(Plan::C.scaled_split(5))
+    }
+
+    fn to_model_config(&self) -> GnnTransConfig {
+        GnnTransConfig {
+            node_dim: NODE_DIM,
+            path_dim: PATH_DIM,
+            hidden: self.hidden,
+            gnn_layers: self.gnn_layers,
+            attn_layers: self.attn_layers,
+            heads: self.heads,
+            mlp_hidden: self.mlp_hidden,
+            path_features: true,
+            weighted_aggregation: true,
+            attn_norm: true,
+        }
+    }
+
+    fn to_mat(&self) -> Mat {
+        Mat::row_vector(vec![
+            self.gnn_layers as f32,
+            self.attn_layers as f32,
+            self.hidden as f32,
+            self.heads as f32,
+            self.mlp_hidden as f32,
+            self.epochs as f32,
+            self.lr,
+        ])
+    }
+
+    fn from_mat(m: &Mat) -> Result<Self, CoreError> {
+        if m.shape() != (1, 7) {
+            return Err(CoreError::BadInput("bad config matrix".into()));
+        }
+        Ok(EstimatorConfig {
+            gnn_layers: m.get(0, 0) as usize,
+            attn_layers: m.get(0, 1) as usize,
+            hidden: m.get(0, 2) as usize,
+            heads: m.get(0, 3) as usize,
+            mlp_hidden: m.get(0, 4) as usize,
+            epochs: m.get(0, 5) as usize,
+            lr: m.get(0, 6),
+        })
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self::plan_b_small()
+    }
+}
+
+/// One predicted wire path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathEstimate {
+    /// The path's sink node.
+    pub sink: NodeId,
+    /// Predicted sink slew.
+    pub slew: Seconds,
+    /// Predicted wire delay.
+    pub delay: Seconds,
+}
+
+/// The trained GNNTrans wire-timing estimator.
+///
+/// Implements [`sta::WireTimer`], so it plugs directly into
+/// [`sta::TimingPath::arrival`] and [`sta::netlist::Netlist::propagate`].
+#[derive(Debug, Clone)]
+pub struct WireTimingEstimator {
+    cfg: EstimatorConfig,
+    model: GnnTrans,
+    scalers: Option<Scalers>,
+}
+
+#[derive(Debug, Clone)]
+struct Scalers {
+    node: Scaler,
+    path: Scaler,
+    target: Scaler,
+}
+
+impl WireTimingEstimator {
+    /// Creates an untrained estimator.
+    pub fn new(cfg: &EstimatorConfig, seed: u64) -> Self {
+        WireTimingEstimator {
+            cfg: cfg.clone(),
+            model: GnnTrans::new(&cfg.to_model_config(), seed),
+            scalers: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Whether [`WireTimingEstimator::train`] has completed.
+    pub fn is_trained(&self) -> bool {
+        self.scalers.is_some()
+    }
+
+    /// Number of scalar weights.
+    pub fn weight_count(&self) -> usize {
+        self.model.param_set().scalar_count()
+    }
+
+    /// Trains end to end on a labelled dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch packing and training failures.
+    pub fn train(&mut self, data: &Dataset) -> Result<TrainReport, CoreError> {
+        let batches = data.batches()?;
+        let report = train(
+            &mut self.model,
+            &batches,
+            &TrainConfig {
+                epochs: self.cfg.epochs,
+                lr: self.cfg.lr,
+                seed: 1,
+                grad_clip: Some(5.0),
+            },
+        )?;
+        self.scalers = Some(Scalers {
+            node: data.node_scaler.clone(),
+            path: data.path_scaler.clone(),
+            target: data.target_scaler.clone(),
+        });
+        Ok(report)
+    }
+
+    /// Trains with a held-out validation split and early stopping: every
+    /// `1/val_every`-th net is held out, training stops after `patience`
+    /// epochs without validation improvement, and the best-epoch weights
+    /// are restored. More robust than [`WireTimingEstimator::train`] when
+    /// run-to-run variance matters (e.g. comparing PlanA/B/C).
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch packing and training failures; returns
+    /// [`CoreError::BadInput`] when the split leaves either side empty.
+    pub fn train_validated(
+        &mut self,
+        data: &Dataset,
+        val_every: usize,
+        patience: usize,
+    ) -> Result<gnn::train::ValidatedReport, CoreError> {
+        let batches = data.batches()?;
+        if val_every < 2 || batches.len() < val_every {
+            return Err(CoreError::BadInput(format!(
+                "cannot hold out every {val_every}-th of {} batches",
+                batches.len()
+            )));
+        }
+        let (mut train_b, mut val_b) = (Vec::new(), Vec::new());
+        for (i, b) in batches.into_iter().enumerate() {
+            if i % val_every == 0 {
+                val_b.push(b);
+            } else {
+                train_b.push(b);
+            }
+        }
+        let report = gnn::train::train_with_early_stopping(
+            &mut self.model,
+            &train_b,
+            &val_b,
+            &TrainConfig {
+                epochs: self.cfg.epochs,
+                lr: self.cfg.lr,
+                seed: 1,
+                grad_clip: Some(5.0),
+            },
+            patience,
+        )?;
+        self.scalers = Some(Scalers {
+            node: data.node_scaler.clone(),
+            path: data.path_scaler.clone(),
+            target: data.target_scaler.clone(),
+        });
+        Ok(report)
+    }
+
+    fn scalers(&self) -> Result<&Scalers, CoreError> {
+        self.scalers.as_ref().ok_or(CoreError::NotTrained)
+    }
+
+    /// Continues training an already-trained estimator on new labelled
+    /// samples (e.g. a freshly routed design), reusing the original
+    /// feature/target scalers so representations stay consistent — the
+    /// incremental-adaptation flow for the paper's "inductive model
+    /// shared across designs".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before initial training and
+    /// propagates training failures.
+    pub fn fine_tune(
+        &mut self,
+        samples: &[crate::dataset::Sample],
+        epochs: usize,
+        lr: f32,
+    ) -> Result<TrainReport, CoreError> {
+        let sc = self.scalers()?.clone();
+        let batches: Result<Vec<gnn::GraphBatch>, CoreError> = samples
+            .iter()
+            .map(|s| {
+                let x = sc.node.transform(&s.node_feats);
+                let pf = s
+                    .path_feats
+                    .iter()
+                    .map(|f| sc.path.transform(f))
+                    .collect();
+                let t = sc.target.transform(&s.targets_ps);
+                gnn::GraphBatch::build(&s.net, x, pf, Some(t)).map_err(CoreError::from)
+            })
+            .collect();
+        let report = train(
+            &mut self.model,
+            &batches?,
+            &TrainConfig {
+                epochs,
+                lr,
+                seed: 2,
+                grad_clip: Some(5.0),
+            },
+        )?;
+        Ok(report)
+    }
+
+    /// Predicts the slew and delay of every wire path of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before training; propagates
+    /// feature-analysis failures.
+    pub fn predict_net(
+        &self,
+        net: &RcNet,
+        ctx: &NetContext,
+    ) -> Result<Vec<PathEstimate>, CoreError> {
+        let sc = self.scalers()?;
+        let wa = elmore::WireAnalysis::new(net)?;
+        // Inference inputs far outside the training distribution are
+        // clamped at ±8 sigma — a deep ReLU stack extrapolates
+        // multiplicatively, so an unclamped outlier net would produce
+        // absurd timing instead of a saturated estimate.
+        let clamp = |mut m: Mat| {
+            for v in m.as_mut_slice() {
+                *v = v.clamp(-8.0, 8.0);
+            }
+            m
+        };
+        let x = clamp(sc.node.transform(&crate::features::node_features(net, &wa, ctx)));
+        let pf = crate::features::all_path_features(net, &wa, ctx)
+            .iter()
+            .map(|f| clamp(sc.path.transform(f)))
+            .collect();
+        let batch = gnn::GraphBatch::build(net, x, pf, None)?;
+        // Predictions are likewise clamped at ±10 sigma of the training
+        // targets before un-scaling.
+        let pred = clamp_pred(self.model.predict(&batch));
+        let raw = sc.target.inverse(&pred);
+        Ok(net
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathEstimate {
+                sink: p.sink,
+                slew: Seconds::from_ps(raw.get(i, 0).max(0.0) as f64),
+                delay: Seconds::from_ps(raw.get(i, 1).max(0.0) as f64),
+            })
+            .collect())
+    }
+
+    /// Batch inference over many nets (the paper's 200 k-net use case).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first net whose features cannot be extracted.
+    pub fn predict_many<'a, I>(&self, nets: I) -> Result<Vec<Vec<PathEstimate>>, CoreError>
+    where
+        I: IntoIterator<Item = (&'a RcNet, &'a NetContext)>,
+    {
+        nets.into_iter()
+            .map(|(net, ctx)| self.predict_net(net, ctx))
+            .collect()
+    }
+
+    /// Saves weights, scalers and configuration to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotTrained`] before training and propagates
+    /// I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        let sc = self.scalers()?;
+        let mut out = ParamSet::new();
+        for (name, mat) in self.model.param_set().iter() {
+            out.add(name, mat.clone());
+        }
+        out.add("__config", self.cfg.to_mat());
+        out.add("__scaler_node", sc.node.to_mat());
+        out.add("__scaler_path", sc.path.to_mat());
+        out.add("__scaler_target", sc.target.to_mat());
+        tensor::serialize::save_file(&out, path)?;
+        Ok(())
+    }
+
+    /// Loads an estimator previously written by
+    /// [`WireTimingEstimator::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] when the file's parameter layout
+    /// does not match the stored configuration.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        let loaded = tensor::serialize::load_file(path)?;
+        let find = |name: &str| -> Result<&Mat, CoreError> {
+            loaded
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, m)| m)
+                .ok_or_else(|| CoreError::BadInput(format!("missing entry `{name}`")))
+        };
+        let cfg = EstimatorConfig::from_mat(find("__config")?)?;
+        let scalers = Scalers {
+            node: Scaler::from_mat(find("__scaler_node")?),
+            path: Scaler::from_mat(find("__scaler_path")?),
+            target: Scaler::from_mat(find("__scaler_target")?),
+        };
+        let mut est = WireTimingEstimator::new(&cfg, 0);
+        let n_model = est.model.param_set().len();
+        if loaded.len() < n_model {
+            return Err(CoreError::BadInput("file has too few parameters".into()));
+        }
+        for i in 0..n_model {
+            let expect = est.model.param_set().name(i).to_string();
+            if loaded.name(i) != expect {
+                return Err(CoreError::BadInput(format!(
+                    "parameter {i} is `{}`, expected `{expect}`",
+                    loaded.name(i)
+                )));
+            }
+            if loaded.get(i).shape() != est.model.param_set().get(i).shape() {
+                return Err(CoreError::BadInput(format!(
+                    "parameter `{expect}` has wrong shape"
+                )));
+            }
+            *est.model.param_set_mut().get_mut(i) = loaded.get(i).clone();
+        }
+        est.scalers = Some(scalers);
+        Ok(est)
+    }
+}
+
+fn clamp_pred(mut m: Mat) -> Mat {
+    for v in m.as_mut_slice() {
+        *v = v.clamp(-10.0, 10.0);
+    }
+    m
+}
+
+impl sta::WireTimer for WireTimingEstimator {
+    fn path_timing(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+    ) -> Result<(Seconds, Seconds), sta::StaError> {
+        let mut ctx = NetContext::generic(net);
+        ctx.input_slew = input_slew;
+        self.timing_from_ctx(net, path_idx, &ctx)
+    }
+
+    fn path_timing_with_driver(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+        driver: Option<&sta::cells::Cell>,
+    ) -> Result<(Seconds, Seconds), sta::StaError> {
+        let ctx = match driver {
+            Some(cell) => NetContext::for_driver(net, cell, input_slew),
+            None => {
+                let mut c = NetContext::generic(net);
+                c.input_slew = input_slew;
+                c
+            }
+        };
+        self.timing_from_ctx(net, path_idx, &ctx)
+    }
+}
+
+impl WireTimingEstimator {
+    fn timing_from_ctx(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        ctx: &NetContext,
+    ) -> Result<(Seconds, Seconds), sta::StaError> {
+        let est = self
+            .predict_net(net, ctx)
+            .map_err(|e| sta::StaError::Wire(e.to_string()))?;
+        let p = est
+            .get(path_idx)
+            .ok_or_else(|| sta::StaError::Wire(format!("path {path_idx} out of range")))?;
+        Ok((p.delay, p.slew))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use netgen::nets::{NetConfig, NetGenerator};
+
+    fn nets(n: usize, seed: u64) -> Vec<RcNet> {
+        let cfg = NetConfig {
+            nodes_min: 4,
+            nodes_max: 10,
+            ..Default::default()
+        };
+        let mut g = NetGenerator::new(seed, cfg);
+        (0..n).map(|i| g.net(format!("n{i}"), i % 2 == 0)).collect()
+    }
+
+    fn quick_cfg() -> EstimatorConfig {
+        EstimatorConfig {
+            gnn_layers: 2,
+            attn_layers: 1,
+            hidden: 8,
+            heads: 2,
+            mlp_hidden: 8,
+            epochs: 15,
+            lr: 5e-3,
+        }
+    }
+
+    #[test]
+    fn untrained_estimator_refuses_to_predict() {
+        let est = WireTimingEstimator::new(&quick_cfg(), 1);
+        assert!(!est.is_trained());
+        let n = nets(1, 2);
+        let ctx = NetContext::generic(&n[0]);
+        assert!(matches!(
+            est.predict_net(&n[0], &ctx),
+            Err(CoreError::NotTrained)
+        ));
+        assert!(matches!(
+            est.save("/tmp/never.bin"),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn train_then_predict_in_physical_range() {
+        let train_nets = nets(12, 3);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        let report = est.train(&ds).unwrap();
+        assert!(report.final_loss().is_finite());
+        assert!(est.is_trained());
+
+        let probe = &nets(14, 3)[13];
+        let ctx = b.context_for(probe);
+        let pred = est.predict_net(probe, &ctx).unwrap();
+        assert_eq!(pred.len(), probe.paths().len());
+        for p in &pred {
+            assert!(p.slew.value() >= 0.0 && p.slew.pico_seconds() < 1000.0);
+            assert!(p.delay.value() >= 0.0 && p.delay.pico_seconds() < 1000.0);
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let train_nets = nets(8, 5);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+
+        let dir = std::env::temp_dir().join("gnntrans_test_model.bin");
+        est.save(&dir).unwrap();
+        let loaded = WireTimingEstimator::load(&dir).unwrap();
+        let probe = &train_nets[0];
+        let ctx = b.context_for(probe);
+        let a = est.predict_net(probe, &ctx).unwrap();
+        let c = loaded.predict_net(probe, &ctx).unwrap();
+        assert_eq!(a, c);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn wire_timer_impl_works() {
+        use sta::WireTimer;
+        let train_nets = nets(8, 6);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+        let (d, s) = est
+            .path_timing(&train_nets[0], 0, Seconds::from_ps(20.0))
+            .unwrap();
+        assert!(d.value() >= 0.0);
+        assert!(s.value() >= 0.0);
+        assert!(est
+            .path_timing(&train_nets[0], 999, Seconds::from_ps(20.0))
+            .is_err());
+    }
+
+    #[test]
+    fn validated_training_restores_best_epoch() {
+        let train_nets = nets(14, 31);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        let report = est.train_validated(&ds, 4, 5).unwrap();
+        assert!(est.is_trained());
+        assert!(report.best_epoch < report.val_losses.len());
+        // Rejects degenerate splits.
+        let mut est2 = WireTimingEstimator::new(&quick_cfg(), 7);
+        assert!(est2.train_validated(&ds, 1, 5).is_err());
+        assert!(est2.train_validated(&ds, 100, 5).is_err());
+    }
+
+    #[test]
+    fn fine_tune_improves_on_shifted_data() {
+        // Train on small nets, fine-tune on a batch of larger nets;
+        // the loss on the new distribution must drop.
+        let small = nets(10, 21);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&small).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+
+        let big_cfg = netgen::nets::NetConfig {
+            nodes_min: 20,
+            nodes_max: 30,
+            ..Default::default()
+        };
+        let mut g = NetGenerator::new(77, big_cfg);
+        let big: Vec<RcNet> = (0..8).map(|i| g.net(format!("big{i}"), i % 2 == 0)).collect();
+        let big_samples: Vec<_> = big.iter().map(|n| b.sample_for(n).unwrap()).collect();
+
+        let report = est.fine_tune(&big_samples, 10, 2e-3).unwrap();
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        // Untrained estimators refuse to fine-tune.
+        let mut fresh = WireTimingEstimator::new(&quick_cfg(), 7);
+        assert!(matches!(
+            fresh.fine_tune(&big_samples, 2, 1e-3),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn plans_have_expected_depths() {
+        assert_eq!(Plan::A.layer_split(), (25, 5));
+        assert_eq!(Plan::B.layer_split(), (20, 10));
+        assert_eq!(Plan::C.layer_split(), (15, 15));
+        assert_eq!(Plan::B.scaled_split(5), (4, 2));
+        let full = EstimatorConfig::plan_b();
+        assert_eq!((full.gnn_layers, full.attn_layers), (20, 10));
+        let small = EstimatorConfig::plan_c_small();
+        assert_eq!((small.gnn_layers, small.attn_layers), (3, 3));
+    }
+}

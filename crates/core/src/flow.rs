@@ -1,0 +1,224 @@
+//! One-call SPEF-to-report flow: the deployment shape of the estimator.
+//!
+//! Parse extracted parasitics, optionally reduce them, run batch
+//! inference, and emit a per-net worst-path report — what an incremental
+//! optimization loop calls between engineering change orders.
+
+use crate::estimator::WireTimingEstimator;
+use crate::features::NetContext;
+use crate::{CoreError, DatasetBuilder};
+use rcnet::reduce::{merge_series, ReduceOptions};
+use rcnet::{RcNet, Seconds};
+use std::fmt::Write as _;
+
+/// Options for [`time_spef`].
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Apply series-merge reduction before timing (faster feature
+    /// extraction on over-segmented extraction output).
+    pub reduce: bool,
+    /// Context assignment seed (driver/load/slew selection per net when
+    /// the caller has no netlist information).
+    pub context_seed: u64,
+    /// Report only nets whose worst path delay exceeds this bound.
+    pub report_threshold: Seconds,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            reduce: false,
+            context_seed: 0,
+            report_threshold: Seconds(0.0),
+        }
+    }
+}
+
+/// Timing of one net within a [`FlowReport`].
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Net name.
+    pub net: String,
+    /// Number of wire paths.
+    pub paths: usize,
+    /// Worst path delay.
+    pub worst_delay: Seconds,
+    /// Sink name of the worst path.
+    pub worst_sink: String,
+    /// Slew at the worst sink.
+    pub worst_slew: Seconds,
+}
+
+/// Result of [`time_spef`].
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Per-net rows, worst delay first, filtered by the report threshold.
+    pub nets: Vec<NetReport>,
+    /// Total nets timed (before threshold filtering).
+    pub total_nets: usize,
+    /// Total wire paths timed.
+    pub total_paths: usize,
+    /// Nodes eliminated by reduction (0 when disabled).
+    pub reduced_nodes: usize,
+}
+
+impl FlowReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timed {} nets / {} wire paths ({} nodes reduced)",
+            self.total_nets, self.total_paths, self.reduced_nodes
+        );
+        let _ = writeln!(out, "{:<24} {:>6} {:>12} {:>12}  sink", "net", "paths", "delay(ps)", "slew(ps)");
+        for r in &self.nets {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>12.2} {:>12.2}  {}",
+                r.net,
+                r.paths,
+                r.worst_delay.pico_seconds(),
+                r.worst_slew.pico_seconds(),
+                r.worst_sink
+            );
+        }
+        out
+    }
+}
+
+/// Times every net of a SPEF document with a trained estimator.
+///
+/// # Errors
+///
+/// Propagates SPEF parse failures, reduction failures and estimator
+/// errors (including [`CoreError::NotTrained`]).
+pub fn time_spef(
+    spef_text: &str,
+    estimator: &WireTimingEstimator,
+    opts: &FlowOptions,
+) -> Result<FlowReport, CoreError> {
+    let doc = rcnet::spef::parse(spef_text).map_err(|e| CoreError::BadInput(e.to_string()))?;
+    let builder = DatasetBuilder::new(opts.context_seed);
+
+    let mut reduced_nodes = 0usize;
+    let nets: Vec<RcNet> = doc
+        .nets
+        .into_iter()
+        .map(|net| {
+            if opts.reduce {
+                let r = merge_series(&net, ReduceOptions::default())
+                    .map_err(|e| CoreError::BadInput(e.to_string()))?;
+                reduced_nodes += r.merged;
+                Ok(r.net)
+            } else {
+                Ok(net)
+            }
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let mut rows = Vec::new();
+    let mut total_paths = 0usize;
+    for net in &nets {
+        let ctx: NetContext = builder.context_for(net);
+        let estimates = estimator.predict_net(net, &ctx)?;
+        total_paths += estimates.len();
+        let worst = estimates
+            .iter()
+            .max_by(|a, b| a.delay.value().total_cmp(&b.delay.value()))
+            .ok_or_else(|| CoreError::BadInput(format!("net `{}` has no paths", net.name())))?;
+        if worst.delay >= opts.report_threshold {
+            rows.push(NetReport {
+                net: net.name().to_string(),
+                paths: estimates.len(),
+                worst_delay: worst.delay,
+                worst_sink: net.node(worst.sink).name.clone(),
+                worst_slew: worst.slew,
+            });
+        }
+    }
+    rows.sort_by(|a, b| b.worst_delay.value().total_cmp(&a.worst_delay.value()));
+    Ok(FlowReport {
+        nets: rows,
+        total_nets: nets.len(),
+        total_paths,
+        reduced_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorConfig;
+    use netgen::nets::{NetConfig, NetGenerator};
+    use rcnet::spef::{write, SpefHeader};
+
+    fn trained() -> (WireTimingEstimator, Vec<RcNet>) {
+        let cfg = NetConfig {
+            nodes_min: 5,
+            nodes_max: 14,
+            ..Default::default()
+        };
+        let mut g = NetGenerator::new(5, cfg);
+        let nets: Vec<RcNet> = (0..25).map(|i| g.net(format!("f{i}"), i % 3 == 0)).collect();
+        let mut b = DatasetBuilder::new(0);
+        let data = b.build(&nets[..20]).unwrap();
+        let mut ecfg = EstimatorConfig::plan_b_small();
+        ecfg.hidden = 16;
+        ecfg.epochs = 12;
+        let mut est = WireTimingEstimator::new(&ecfg, 3);
+        est.train(&data).unwrap();
+        (est, nets)
+    }
+
+    #[test]
+    fn spef_to_report_end_to_end() {
+        let (est, nets) = trained();
+        let text = write(&SpefHeader::default(), &nets[20..]);
+        let report = time_spef(&text, &est, &FlowOptions::default()).unwrap();
+        assert_eq!(report.total_nets, 5);
+        assert_eq!(report.nets.len(), 5);
+        assert!(report.total_paths >= 5);
+        // Sorted worst first.
+        for w in report.nets.windows(2) {
+            assert!(w[0].worst_delay >= w[1].worst_delay);
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("timed 5 nets"));
+        assert!(rendered.contains(&report.nets[0].net));
+    }
+
+    #[test]
+    fn reduction_and_threshold_options() {
+        let (est, nets) = trained();
+        let text = write(&SpefHeader::default(), &nets[20..]);
+        let full = time_spef(&text, &est, &FlowOptions::default()).unwrap();
+        let opts = FlowOptions {
+            reduce: true,
+            report_threshold: Seconds::from_ps(1e9), // filter everything
+            ..Default::default()
+        };
+        let filtered = time_spef(&text, &est, &opts).unwrap();
+        assert!(filtered.reduced_nodes > 0);
+        assert_eq!(filtered.total_nets, full.total_nets);
+        assert!(filtered.nets.is_empty());
+    }
+
+    #[test]
+    fn untrained_estimator_is_rejected() {
+        let est = WireTimingEstimator::new(&EstimatorConfig::plan_b_small(), 1);
+        let (trained_est, nets) = trained();
+        let _ = trained_est;
+        let text = write(&SpefHeader::default(), &nets[..1]);
+        assert!(matches!(
+            time_spef(&text, &est, &FlowOptions::default()),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn bad_spef_is_rejected() {
+        let (est, _) = trained();
+        assert!(time_spef("*D_NET oops", &est, &FlowOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Two-pole AWE (asymptotic waveform evaluation) from the first three
+//! moments.
+//!
+//! One step up in fidelity from Elmore/D2M: match the transfer function
+//! to a Padé [1/2] approximant
+//!
+//! ```text
+//! H(s) ≈ (1 + a1 s) / (1 + b1 s + b2 s²)
+//! ```
+//!
+//! whose step response has the closed form
+//! `v(t) = 1 + k1 e^{p1 t} + k2 e^{p2 t}`. Threshold crossings are found
+//! by bisection on that closed form, giving delay and slew estimates far
+//! closer to the transient simulation than single-moment metrics — the
+//! classic middle ground between Elmore and SPICE that delay calculators
+//! shipped for years.
+
+use crate::moments::Moments;
+use rcnet::{NodeId, Seconds};
+
+/// A stable two-pole reduced-order model of one node's step response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPoleModel {
+    /// Pole values (negative, `p1 <= p2 < 0`), 1/seconds.
+    pub poles: (f64, f64),
+    /// Residues of the step response (`v(t) = 1 + k1 e^{p1 t} + k2 e^{p2 t}`).
+    pub residues: (f64, f64),
+}
+
+impl TwoPoleModel {
+    /// Fits the model from a node's moments.
+    ///
+    /// Returns `None` when the Padé denominator has non-negative or
+    /// complex roots (an unstable or oscillatory fit — the standard AWE
+    /// failure), in which case callers fall back to a single-pole model;
+    /// [`two_pole_or_single`] does exactly that.
+    pub fn from_moments(m1: f64, m2: f64, m3: f64) -> Option<Self> {
+        // Padé [1/2]: solve  [1  m1][b2]   = -[m2]
+        //                    [m1 m2][b1]     -[m3]
+        let det = m2 - m1 * m1;
+        if det.abs() < 1e-60 {
+            return None;
+        }
+        let b2 = (-m2 * m2 + m1 * m3) / det;
+        let b1 = (m1 * m2 - m3) / det;
+        let a1 = m1 + b1;
+
+        // Poles: roots of b2 s^2 + b1 s + 1 = 0.
+        if b2.abs() < 1e-60 {
+            return None;
+        }
+        let disc = b1 * b1 - 4.0 * b2;
+        if disc < 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        let p1 = (-b1 - sq) / (2.0 * b2);
+        let p2 = (-b1 + sq) / (2.0 * b2);
+        if p1 >= 0.0 || p2 >= 0.0 {
+            return None;
+        }
+        // Step-response residues: k_i = -(1 + a1 p_i) / (p_i^2 b2 * d/ds ...)
+        // Easiest via partial fractions of H(s)/s:
+        //   H(s)/s = 1/s + k1/(s - p1) + k2/(s - p2)
+        //   k_i = H(p_i ... ) limit: k_i = (1 + a1 p_i) / (p_i * b2 * (p_i - p_j))
+        let k1 = (1.0 + a1 * p1) / (p1 * b2 * (p1 - p2));
+        let k2 = (1.0 + a1 * p2) / (p2 * b2 * (p2 - p1));
+        Some(TwoPoleModel {
+            poles: (p1.min(p2), p1.max(p2)),
+            residues: if p1 <= p2 { (k1, k2) } else { (k2, k1) },
+        })
+    }
+
+    /// Step-response value at time `t` (normalized to a final value of 1).
+    pub fn value(&self, t: f64) -> f64 {
+        1.0 + self.residues.0 * (self.poles.0 * t).exp()
+            + self.residues.1 * (self.poles.1 * t).exp()
+    }
+
+    /// First time the response reaches `threshold` (0..1), by bisection.
+    ///
+    /// Returns `None` for thresholds outside `(0, 1)`.
+    pub fn crossing(&self, threshold: f64) -> Option<Seconds> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return None;
+        }
+        // Bracket: the slowest pole sets the settling scale.
+        let tau = 1.0 / self.poles.1.abs().max(1e-30);
+        let mut hi = tau;
+        let mut guard = 0;
+        while self.value(hi) < threshold && guard < 200 {
+            hi *= 2.0;
+            guard += 1;
+        }
+        if self.value(hi) < threshold {
+            return None;
+        }
+        let mut lo = 0.0f64;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.value(mid) < threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Seconds(0.5 * (lo + hi)))
+    }
+
+    /// 50 % delay.
+    pub fn delay50(&self) -> Option<Seconds> {
+        self.crossing(0.5)
+    }
+
+    /// 10–90 % slew.
+    pub fn slew_10_90(&self) -> Option<Seconds> {
+        let t10 = self.crossing(0.1)?;
+        let t90 = self.crossing(0.9)?;
+        Some(Seconds((t90.value() - t10.value()).max(0.0)))
+    }
+}
+
+/// Fits a two-pole model for `node`, falling back to the single-pole
+/// (Elmore time-constant) model when the Padé fit is unstable.
+pub fn two_pole_or_single(moments: &Moments, node: NodeId) -> TwoPoleModel {
+    let i = node.index();
+    TwoPoleModel::from_moments(moments.m1[i], moments.m2[i], moments.m3[i]).unwrap_or_else(|| {
+        let tau = (-moments.m1[i]).max(1e-30);
+        TwoPoleModel {
+            poles: (-1.0 / tau, -1.0 / tau * (1.0 + 1e-9)),
+            residues: (-1.0, 0.0),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    #[test]
+    fn single_pole_circuit_recovers_its_pole() {
+        // R-C: tau = RC; moments m1 = -tau, m2 = tau^2, m3 = -tau^3.
+        let tau = 10e-12;
+        let m = TwoPoleModel::from_moments(-tau, tau * tau, -tau * tau * tau);
+        // A pure single pole makes the Padé system singular or nearly so;
+        // when a model is produced its dominant pole must be 1/tau.
+        if let Some(m) = m {
+            assert!((m.poles.1 + 1.0 / tau).abs() < 1e-3 / tau);
+        }
+    }
+
+    #[test]
+    fn two_pole_delay_beats_elmore_against_golden() {
+        // Far sink of a 2-stage ladder: compare against the transient
+        // simulator's measured 50% step delay.
+        let mut b = RcNetBuilder::new("l");
+        let s = b.source("s", Farads(0.0));
+        let m = b.internal("m", Farads(8e-15));
+        let k = b.sink("k", Farads(8e-15));
+        b.resistor(s, m, Ohms(500.0));
+        b.resistor(m, k, Ohms(500.0));
+        let net = b.build().unwrap();
+        let moments = crate::Moments::new(&net).unwrap();
+        let model = two_pole_or_single(&moments, k);
+        let awe_delay = model.delay50().expect("stable model").value();
+
+        // Golden: near-step input through a tiny drive resistance.
+        let timer = rcsim::GoldenTimer::new(1.0, Ohms(1.0)).with_steps(6000);
+        let golden = timer
+            .time_net(&net, rcnet::Seconds::from_ps(0.1), rcsim::SiMode::Off)
+            .unwrap()[0]
+            .delay
+            .value();
+        let elmore_delay = crate::metrics::LN2 * (-moments.m1[k.index()]);
+        let awe_err = (awe_delay - golden).abs();
+        let elmore_err = (elmore_delay - golden).abs();
+        assert!(
+            awe_err <= elmore_err * 1.05 + 1e-14,
+            "AWE {awe_delay} vs Elmore {elmore_delay} vs golden {golden}"
+        );
+        assert!(awe_err < 0.15 * golden + 1e-13, "AWE within 15%");
+    }
+
+    #[test]
+    fn response_is_monotone_like_and_settles() {
+        let mut b = RcNetBuilder::new("l");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(5e-15));
+        b.resistor(s, k, Ohms(300.0));
+        let net = b.build().unwrap();
+        let moments = crate::Moments::new(&net).unwrap();
+        let model = two_pole_or_single(&moments, k);
+        assert!(model.value(0.0) < 0.1);
+        let tau = 1.0 / model.poles.1.abs();
+        assert!(model.value(20.0 * tau) > 0.99);
+        let t50 = model.delay50().unwrap();
+        let slew = model.slew_10_90().unwrap();
+        assert!(t50.value() > 0.0);
+        assert!(slew.value() > 0.0);
+        // t10 < t50 < t90 ordering.
+        let t10 = model.crossing(0.1).unwrap();
+        let t90 = model.crossing(0.9).unwrap();
+        assert!(t10 < t50 && t50 < t90);
+    }
+
+    #[test]
+    fn rejects_out_of_range_thresholds() {
+        let model = TwoPoleModel {
+            poles: (-2e11, -1e11),
+            residues: (0.5, -1.5),
+        };
+        assert_eq!(model.crossing(0.0), None);
+        assert_eq!(model.crossing(1.0), None);
+        assert_eq!(model.crossing(-0.3), None);
+    }
+
+    #[test]
+    fn fallback_is_single_pole_elmore() {
+        // Degenerate moments force the fallback.
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("s", Farads(0.0));
+        let k = b.sink("k", Farads(4e-15));
+        b.resistor(s, k, Ohms(250.0));
+        let net = b.build().unwrap();
+        let moments = crate::Moments::new(&net).unwrap();
+        let model = two_pole_or_single(&moments, k);
+        let tau = 250.0 * 4e-15;
+        let t50 = model.delay50().unwrap().value();
+        assert!((t50 - crate::metrics::LN2 * tau).abs() < 0.05 * tau);
+    }
+}

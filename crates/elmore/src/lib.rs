@@ -1,0 +1,88 @@
+//! Analytical wire delay and slew metrics.
+//!
+//! These closed-form metrics serve two roles in the reproduction:
+//!
+//! 1. **Features** — the paper's TABLE I node features include the *Elmore
+//!    downstream capacitance* and *Elmore stage delay*, and its path
+//!    features include the *wire path Elmore delay* and *D2M delay*.
+//! 2. **Baseline inputs** — the DAC'20 baseline \[5\] feeds manually selected
+//!    analytical features into a tree ensemble.
+//!
+//! Two computation styles are provided:
+//!
+//! * [`tree`] — classic downstream-capacitance / stage-delay recurrences
+//!   over a source-rooted tree orientation (the shortest-path tree on
+//!   non-tree nets);
+//! * [`moments`] — exact circuit moments `m1..m3` from the MNA system,
+//!   valid on any topology including resistive loops, from which the
+//!   Elmore delay (`-m1`), the two-moment [`metrics::d2m`] delay, and a
+//!   moment-matched step slew are derived.
+//!
+//! [`WireAnalysis`] bundles everything computed once per net.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcnet::{Farads, Ohms, RcNetBuilder};
+//! use elmore::WireAnalysis;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = RcNetBuilder::new("n");
+//! let s = b.source("d:Z", Farads(1e-15));
+//! let k = b.sink("l:A", Farads(10e-15));
+//! b.resistor(s, k, Ohms(100.0));
+//! let net = b.build()?;
+//! let wa = WireAnalysis::new(&net)?;
+//! // Single RC stage: Elmore delay = R * C_sink.
+//! let d = wa.elmore_delay(k);
+//! assert!((d.value() - 100.0 * 10e-15).abs() < 1e-18);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod awe;
+pub mod metrics;
+pub mod moments;
+pub mod tree;
+
+pub use analysis::{LoopBreaking, WireAnalysis};
+pub use awe::TwoPoleModel;
+pub use moments::Moments;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the analytical engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ElmoreError {
+    /// The MNA conductance matrix could not be factorized (should not happen
+    /// on a validated net; indicates degenerate resistances).
+    Numeric(String),
+    /// The underlying net was rejected.
+    Net(String),
+}
+
+impl fmt::Display for ElmoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElmoreError::Numeric(m) => write!(f, "numeric failure: {m}"),
+            ElmoreError::Net(m) => write!(f, "net error: {m}"),
+        }
+    }
+}
+
+impl Error for ElmoreError {}
+
+impl From<numeric::NumericError> for ElmoreError {
+    fn from(e: numeric::NumericError) -> Self {
+        ElmoreError::Numeric(e.to_string())
+    }
+}
+
+impl From<rcnet::RcNetError> for ElmoreError {
+    fn from(e: rcnet::RcNetError) -> Self {
+        ElmoreError::Net(e.to_string())
+    }
+}

@@ -1,0 +1,92 @@
+//! Closed-form delay/slew metrics derived from circuit moments.
+
+use rcnet::Seconds;
+
+/// Natural log of 9, the 10 %–90 % width of a single-pole exponential in
+/// units of its time constant.
+pub const LN9: f64 = 2.197224577336220;
+
+/// Natural log of 2, the 50 % crossing of a single-pole exponential in
+/// units of its time constant.
+pub const LN2: f64 = 0.693147180559945;
+
+/// Elmore 50 % delay estimate from the first moment: `ln 2 * (-m1)`.
+///
+/// The raw Elmore delay `-m1` is the mean of the impulse response and a
+/// provable upper bound of the 50 % delay; scaling by `ln 2` matches a
+/// single-pole response exactly.
+pub fn elmore50(m1: f64) -> Seconds {
+    Seconds(LN2 * (-m1).max(0.0))
+}
+
+/// D2M two-moment delay metric (Alpert–Devgan–Kashyap, ISPD 2000):
+/// `D2M = ln 2 * m1^2 / sqrt(m2)`.
+///
+/// Far more accurate than Elmore on far-from-driver sinks. Falls back to
+/// [`elmore50`] when `m2` is non-positive (degenerate, e.g. capacitance-free
+/// nets).
+pub fn d2m(m1: f64, m2: f64) -> Seconds {
+    if m2 <= 0.0 {
+        return elmore50(m1);
+    }
+    Seconds(LN2 * m1 * m1 / m2.sqrt())
+}
+
+/// Moment-matched step-input slew (10 %–90 %): `ln 9 * sigma`, where
+/// `sigma^2 = 2 m2 - m1^2` is the variance of the impulse response.
+///
+/// Negative variance (numerically degenerate nets) clamps to zero.
+pub fn step_slew(m1: f64, m2: f64) -> Seconds {
+    let var = 2.0 * m2 - m1 * m1;
+    if var <= 0.0 {
+        return Seconds(0.0);
+    }
+    Seconds(LN9 * var.sqrt())
+}
+
+/// PERI slew combination: the output slew of a stage given the input slew
+/// and the stage's step-input slew — `sqrt(s_in^2 + s_step^2)`.
+///
+/// Standard root-sum-square used by industrial delay calculators to merge
+/// driver and wire contributions.
+pub fn peri_slew(input_slew: Seconds, step: Seconds) -> Seconds {
+    Seconds((input_slew.value().powi(2) + step.value().powi(2)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pole_identities() {
+        // For a single pole with time constant tau: m1 = -tau, m2 = tau^2.
+        let tau = 5e-12;
+        let (m1, m2) = (-tau, tau * tau);
+        assert!((elmore50(m1).value() - LN2 * tau).abs() < 1e-24);
+        assert!((d2m(m1, m2).value() - LN2 * tau).abs() < 1e-24);
+        // sigma = tau for a single pole => slew = ln9 * tau.
+        assert!((step_slew(m1, m2).value() - LN9 * tau).abs() < 1e-24);
+    }
+
+    #[test]
+    fn d2m_leq_elmore_for_multi_pole() {
+        // Multi-pole responses have m2 > m1^2, making D2M < ln2*(-m1).
+        let m1 = -10e-12;
+        let m2 = 2.0 * m1 * m1;
+        assert!(d2m(m1, m2).value() < elmore50(m1).value());
+    }
+
+    #[test]
+    fn degenerate_moments_fall_back() {
+        assert_eq!(d2m(-1e-12, 0.0), elmore50(-1e-12));
+        assert_eq!(step_slew(0.0, 0.0), Seconds(0.0));
+        assert_eq!(elmore50(1e-12).value(), 0.0); // positive m1 clamps
+    }
+
+    #[test]
+    fn peri_combines_quadratically() {
+        let s = peri_slew(Seconds(3e-12), Seconds(4e-12));
+        assert!((s.value() - 5e-12).abs() < 1e-24);
+        assert_eq!(peri_slew(Seconds(0.0), Seconds(2e-12)), Seconds(2e-12));
+    }
+}

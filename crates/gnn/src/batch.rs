@@ -1,0 +1,300 @@
+//! Packing one RC net into model-ready tensors.
+//!
+//! Following the paper's data representation (§III-B, Fig. 5), each net
+//! becomes a node feature matrix `X`, a weighted adjacency matrix `A`
+//! whose entries are (normalized) resistance values, and a path feature
+//! matrix `H` with one row per wire path. The baselines additionally need
+//! a mean-aggregation adjacency (GraphSage), a symmetrically normalized
+//! one with self-loops (GCNII) and an attention mask (GAT), all derived
+//! from the same connectivity here.
+
+use crate::GnnError;
+use rcnet::RcNet;
+use tensor::Mat;
+
+/// Resistance normalization constant: adjacency weights are
+/// `R / R_SCALE` so typical segment resistances land near 0.05–1.
+pub const R_SCALE: f32 = 120.0;
+
+/// One wire path: the node indices it visits and its raw path features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    /// Indices (into the net's node list) of the path's nodes, source →
+    /// sink.
+    pub nodes: Vec<usize>,
+    /// `1 x d_h` path feature row (TABLE I path features).
+    pub features: Mat,
+}
+
+/// A net packed for the graph models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphBatch {
+    /// `n x d_x` node features.
+    pub x: Mat,
+    /// `n x n` resistance-weighted adjacency (eq. (1) aggregation).
+    pub adj_res: Mat,
+    /// `n x n` row-normalized binary adjacency (GraphSage mean
+    /// aggregation).
+    pub adj_mean: Mat,
+    /// `n x n` symmetrically normalized adjacency with self-loops
+    /// (GCN/GCNII propagation).
+    pub adj_gcn: Mat,
+    /// `n x n` attention mask: 0 on edges and the diagonal, a large
+    /// negative value elsewhere (GAT masked softmax).
+    pub adj_mask: Mat,
+    /// Wire paths, aligned with `net.paths()`.
+    pub paths: Vec<PathSpec>,
+    /// Optional `p x 2` training targets: column 0 = slew, column 1 =
+    /// delay (normalized units).
+    pub targets: Option<Mat>,
+}
+
+impl GraphBatch {
+    /// Builds a batch from a net's connectivity plus externally computed
+    /// node features, path features, and optional targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadBatch`] when dimensions are inconsistent
+    /// with the net (wrong node count, path count, or target shape).
+    pub fn build(
+        net: &RcNet,
+        x: Mat,
+        path_features: Vec<Mat>,
+        targets: Option<Mat>,
+    ) -> Result<Self, GnnError> {
+        let n = net.node_count();
+        if x.rows() != n {
+            return Err(GnnError::BadBatch(format!(
+                "node features have {} rows, net has {n} nodes",
+                x.rows()
+            )));
+        }
+        let p = net.paths().len();
+        if path_features.len() != p {
+            return Err(GnnError::BadBatch(format!(
+                "{} path feature rows for {p} paths",
+                path_features.len()
+            )));
+        }
+        for (i, f) in path_features.iter().enumerate() {
+            if f.rows() != 1 {
+                return Err(GnnError::BadBatch(format!(
+                    "path {i} features must be a single row"
+                )));
+            }
+            if f.cols() != path_features[0].cols() {
+                return Err(GnnError::BadBatch("ragged path features".into()));
+            }
+        }
+        if let Some(t) = &targets {
+            if t.shape() != (p, 2) {
+                return Err(GnnError::BadBatch(format!(
+                    "targets must be {p}x2, got {}x{}",
+                    t.rows(),
+                    t.cols()
+                )));
+            }
+        }
+
+        let mut adj_res = Mat::zeros(n, n);
+        let mut binary = Mat::zeros(n, n);
+        for (_, e) in net.iter_edges() {
+            let (a, b) = (e.a.index(), e.b.index());
+            let w = e.res.value() as f32 / R_SCALE;
+            // Parallel resistors accumulate.
+            adj_res.set(a, b, adj_res.get(a, b) + w);
+            adj_res.set(b, a, adj_res.get(b, a) + w);
+            binary.set(a, b, 1.0);
+            binary.set(b, a, 1.0);
+        }
+
+        // Row-normalized mean aggregation.
+        let mut adj_mean = binary.clone();
+        for r in 0..n {
+            let deg: f32 = (0..n).map(|c| adj_mean.get(r, c)).sum();
+            if deg > 0.0 {
+                for c in 0..n {
+                    adj_mean.set(r, c, adj_mean.get(r, c) / deg);
+                }
+            }
+        }
+
+        // Symmetric normalization with self-loops: D^-1/2 (A+I) D^-1/2.
+        let mut adj_gcn = binary.clone();
+        for i in 0..n {
+            adj_gcn.set(i, i, 1.0);
+        }
+        let deg: Vec<f32> = (0..n)
+            .map(|r| (0..n).map(|c| adj_gcn.get(r, c)).sum::<f32>())
+            .collect();
+        for r in 0..n {
+            for c in 0..n {
+                let v = adj_gcn.get(r, c);
+                if v != 0.0 {
+                    adj_gcn.set(r, c, v / (deg[r] * deg[c]).sqrt());
+                }
+            }
+        }
+
+        // GAT mask: 0 where attention is allowed (edges + self), -1e9
+        // elsewhere.
+        let mut adj_mask = Mat::full(n, n, -1e9);
+        for r in 0..n {
+            adj_mask.set(r, r, 0.0);
+            for c in 0..n {
+                if binary.get(r, c) != 0.0 {
+                    adj_mask.set(r, c, 0.0);
+                }
+            }
+        }
+
+        let paths = net
+            .paths()
+            .iter()
+            .zip(path_features)
+            .map(|(p, features)| PathSpec {
+                nodes: p.nodes.iter().map(|n| n.index()).collect(),
+                features,
+            })
+            .collect();
+
+        Ok(GraphBatch {
+            x,
+            adj_res,
+            adj_mean,
+            adj_gcn,
+            adj_mask,
+            paths,
+            targets,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Node feature dimension.
+    pub fn node_dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Path feature dimension.
+    pub fn path_dim(&self) -> usize {
+        self.paths.first().map_or(0, |p| p.features.cols())
+    }
+
+    /// Number of wire paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    fn diamond() -> RcNet {
+        let mut b = RcNetBuilder::new("d");
+        let s = b.source("s", Farads(1e-15));
+        let a = b.internal("a", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, a, Ohms(60.0));
+        b.resistor(a, k, Ohms(60.0));
+        b.resistor(s, k, Ohms(120.0));
+        b.build().unwrap()
+    }
+
+    fn build_ok(net: &RcNet) -> GraphBatch {
+        let n = net.node_count();
+        let x = Mat::full(n, 3, 0.5);
+        let pf = net
+            .paths()
+            .iter()
+            .map(|_| Mat::row_vector(vec![1.0, 2.0]))
+            .collect();
+        GraphBatch::build(net, x, pf, None).unwrap()
+    }
+
+    #[test]
+    fn adjacency_variants_consistent() {
+        let net = diamond();
+        let b = build_ok(&net);
+        let n = net.node_count();
+        assert_eq!(b.node_count(), n);
+        assert_eq!(b.node_dim(), 3);
+        assert_eq!(b.path_dim(), 2);
+        assert_eq!(b.path_count(), 1);
+
+        // adj_res symmetric, weighted by normalized resistance.
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(b.adj_res.get(r, c), b.adj_res.get(c, r));
+            }
+        }
+        let s = net.source().index();
+        let k = net.node_by_name("k").unwrap().index();
+        assert!((b.adj_res.get(s, k) - 1.0).abs() < 1e-6); // 120/120
+
+        // adj_mean rows sum to 1 for connected nodes.
+        for r in 0..n {
+            let sum: f32 = (0..n).map(|c| b.adj_mean.get(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+
+        // adj_gcn symmetric with self-loops.
+        for r in 0..n {
+            assert!(b.adj_gcn.get(r, r) > 0.0);
+        }
+
+        // mask: diagonal open, edges open, everything in a diamond is
+        // connected so check an explicit non-edge in a path graph instead.
+        assert_eq!(b.adj_mask.get(s, s), 0.0);
+        assert_eq!(b.adj_mask.get(s, k), 0.0);
+    }
+
+    #[test]
+    fn mask_blocks_non_edges() {
+        let mut bld = RcNetBuilder::new("chain");
+        let s = bld.source("s", Farads(1e-15));
+        let m = bld.internal("m", Farads(1e-15));
+        let k = bld.sink("k", Farads(1e-15));
+        bld.resistor(s, m, Ohms(10.0));
+        bld.resistor(m, k, Ohms(10.0));
+        let net = bld.build().unwrap();
+        let b = build_ok(&net);
+        assert!(b.adj_mask.get(s.index(), k.index()) < -1e8);
+        assert_eq!(b.adj_mask.get(s.index(), m.index()), 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistency() {
+        let net = diamond();
+        let bad_x = Mat::zeros(net.node_count() + 1, 3);
+        assert!(GraphBatch::build(&net, bad_x, vec![Mat::row_vector(vec![1.0])], None).is_err());
+
+        let x = Mat::zeros(net.node_count(), 3);
+        assert!(GraphBatch::build(&net, x.clone(), vec![], None).is_err());
+
+        let pf = vec![Mat::zeros(2, 2)];
+        assert!(GraphBatch::build(&net, x.clone(), pf, None).is_err());
+
+        let pf = vec![Mat::row_vector(vec![1.0])];
+        let bad_t = Some(Mat::zeros(3, 2));
+        assert!(GraphBatch::build(&net, x, pf, bad_t).is_err());
+    }
+
+    #[test]
+    fn paths_record_node_indices() {
+        let net = diamond();
+        let b = build_ok(&net);
+        let p = &b.paths[0];
+        assert_eq!(p.nodes.first(), Some(&net.source().index()));
+        assert_eq!(
+            p.nodes.last(),
+            Some(&net.node_by_name("k").unwrap().index())
+        );
+    }
+}

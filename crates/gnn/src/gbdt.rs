@@ -1,0 +1,332 @@
+//! Gradient-boosted regression trees — the ML engine of the DAC'20
+//! baseline \[5\].
+//!
+//! The prior work feeds manually selected RC-structure features (after
+//! breaking loops) into an XGBoost regressor. This is a from-scratch
+//! squared-loss GBDT: exact greedy splits on sorted features, shrinkage,
+//! and a mean-prediction base score. Feature extraction lives with the
+//! estimator crate; this module is feature-agnostic.
+
+use crate::GnnError;
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            trees: 120,
+            max_depth: 4,
+            min_leaf: 4,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TreeNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single regression tree (CART, squared loss).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on `rows` (each a feature vector) against `targets`.
+    fn fit(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        max_depth: usize,
+        min_leaf: usize,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        Self::build(rows, targets, indices, max_depth, min_leaf, &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    fn mean(targets: &[f64], idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len().max(1) as f64
+    }
+
+    fn build(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        idx: &[usize],
+        depth: usize,
+        min_leaf: usize,
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
+        let node_id = nodes.len();
+        nodes.push(TreeNode::Leaf {
+            value: Self::mean(targets, idx),
+        });
+        if depth == 0 || idx.len() < 2 * min_leaf {
+            return node_id;
+        }
+        // Best split across all features: maximize SSE reduction via
+        // sorted prefix sums.
+        let n_features = rows.first().map_or(0, |r| r.len());
+        let total_sum: f64 = idx.iter().map(|&i| targets[i]).sum();
+        let total_cnt = idx.len() as f64;
+        let parent_score = total_sum * total_sum / total_cnt;
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut sorted = idx.to_vec();
+        for f in 0..n_features {
+            sorted.sort_by(|&a, &b| rows[a][f].total_cmp(&rows[b][f]));
+            let mut left_sum = 0.0;
+            for pos in 0..sorted.len() - 1 {
+                left_sum += targets[sorted[pos]];
+                let left_cnt = (pos + 1) as f64;
+                // Can't split between equal feature values.
+                if rows[sorted[pos]][f] == rows[sorted[pos + 1]][f] {
+                    continue;
+                }
+                if pos + 1 < min_leaf || sorted.len() - pos - 1 < min_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_cnt = total_cnt - left_cnt;
+                let score =
+                    left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt;
+                let gain = score - parent_score;
+                if best.map_or(gain > 1e-12, |(g, _, _)| gain > g) {
+                    let threshold = 0.5 * (rows[sorted[pos]][f] + rows[sorted[pos + 1]][f]);
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            return node_id;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| rows[i][feature] <= threshold);
+        let left = Self::build(rows, targets, &left_idx, depth - 1, min_leaf, nodes);
+        let right = Self::build(rows, targets, &right_idx, depth - 1, min_leaf, nodes);
+        nodes[node_id] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gbdt {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+}
+
+impl Gbdt {
+    /// Fits the ensemble on `rows`/`targets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadBatch`] when the inputs are empty or ragged.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], cfg: &GbdtConfig) -> Result<Self, GnnError> {
+        if rows.is_empty() || rows.len() != targets.len() {
+            return Err(GnnError::BadBatch(format!(
+                "{} rows vs {} targets",
+                rows.len(),
+                targets.len()
+            )));
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(GnnError::BadBatch("ragged feature rows".into()));
+        }
+        let base = targets.iter().sum::<f64>() / targets.len() as f64;
+        let mut residuals: Vec<f64> = targets.iter().map(|t| t - base).collect();
+        let indices: Vec<usize> = (0..rows.len()).collect();
+        let mut trees = Vec::with_capacity(cfg.trees);
+        for _ in 0..cfg.trees {
+            let tree =
+                RegressionTree::fit(rows, &residuals, &indices, cfg.max_depth, cfg.min_leaf);
+            for (i, row) in rows.iter().enumerate() {
+                residuals[i] -= cfg.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+        Ok(Gbdt {
+            base,
+            trees,
+            learning_rate: cfg.learning_rate,
+        })
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(row))
+                    .sum::<f64>()
+    }
+
+    /// Number of boosting rounds fitted.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data<F: Fn(f64, f64) -> f64>(n: usize, f: F) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i as f64 * 0.731).sin();
+            let b = (i as f64 * 0.337).cos();
+            rows.push(vec![a, b]);
+            ys.push(f(a, b));
+        }
+        (rows, ys)
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let (rows, ys) = make_data(200, |a, b| 3.0 * a - 2.0 * b + 1.0);
+        let model = Gbdt::fit(&rows, &ys, &GbdtConfig::default()).unwrap();
+        let mse: f64 = rows
+            .iter()
+            .zip(&ys)
+            .map(|(r, y)| (model.predict(r) - y).powi(2))
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!(mse < 0.05, "train mse {mse}");
+        assert_eq!(model.tree_count(), GbdtConfig::default().trees);
+    }
+
+    #[test]
+    fn fits_nonlinear_interaction() {
+        let (rows, ys) = make_data(300, |a, b| a * b + (a > 0.0) as i32 as f64);
+        let model = Gbdt::fit(
+            &rows,
+            &ys,
+            &GbdtConfig {
+                trees: 200,
+                max_depth: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mse: f64 = rows
+            .iter()
+            .zip(&ys)
+            .map(|(r, y)| (model.predict(r) - y).powi(2))
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!(mse < 0.05, "train mse {mse}");
+    }
+
+    #[test]
+    fn constant_targets_give_constant_prediction() {
+        let (rows, _) = make_data(50, |_, _| 0.0);
+        let ys = vec![7.5; 50];
+        let model = Gbdt::fit(&rows, &ys, &GbdtConfig::default()).unwrap();
+        assert!((model.predict(&rows[0]) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Gbdt::fit(&[], &[], &GbdtConfig::default()).is_err());
+        let rows = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(Gbdt::fit(&rows, &[1.0, 2.0], &GbdtConfig::default()).is_err());
+        let rows = vec![vec![1.0]];
+        assert!(Gbdt::fit(&rows, &[1.0, 2.0], &GbdtConfig::default()).is_err());
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let (rows, ys) = make_data(20, |a, _| a);
+        let model = Gbdt::fit(
+            &rows,
+            &ys,
+            &GbdtConfig {
+                trees: 1,
+                max_depth: 10,
+                min_leaf: 10,
+                learning_rate: 1.0,
+            },
+        )
+        .unwrap();
+        // With min_leaf = n/2 the single tree can split at most once.
+        assert!(model.trees[0].len() <= 3);
+    }
+
+    #[test]
+    fn generalizes_to_unseen_points() {
+        let (rows, ys) = make_data(400, |a, b| 2.0 * a + b);
+        let (train_r, test_r) = rows.split_at(300);
+        let (train_y, test_y) = ys.split_at(300);
+        let model = Gbdt::fit(&train_r.to_vec(), train_y, &GbdtConfig::default()).unwrap();
+        let mse: f64 = test_r
+            .iter()
+            .zip(test_y)
+            .map(|(r, y)| (model.predict(r) - y).powi(2))
+            .sum::<f64>()
+            / test_r.len() as f64;
+        assert!(mse < 0.1, "test mse {mse}");
+    }
+}

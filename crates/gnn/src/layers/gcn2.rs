@@ -1,0 +1,114 @@
+//! GCNII layer (Chen et al., ICML 2020) — baseline.
+//!
+//! The deep-GCN fix the paper cites against over-smoothing [17]: initial
+//! residual plus identity mapping,
+//!
+//! ```text
+//! x^(l+1) = ReLU( ( (1-a) P x^(l) + a x^(0) ) ( (1-b_l) I + b_l W^(l) ) )
+//! ```
+//!
+//! with `P` the symmetrically normalized adjacency and
+//! `b_l = log(lambda/l + 1)`.
+
+use crate::layers::Linear;
+use tensor::init::InitRng;
+use tensor::{ParamSet, Tape, Var};
+
+/// One GCNII layer.
+#[derive(Debug, Clone)]
+pub struct Gcn2Layer {
+    w: Linear,
+    alpha: f32,
+    beta: f32,
+}
+
+impl Gcn2Layer {
+    /// Registers the layer's `W`. `depth_index` is the 1-based layer
+    /// number `l` used for `beta_l = log(lambda / l + 1)`.
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut InitRng,
+        name: &str,
+        dim: usize,
+        depth_index: usize,
+        alpha: f32,
+        lambda: f32,
+    ) -> Self {
+        let beta = (lambda / depth_index.max(1) as f32 + 1.0).ln();
+        Gcn2Layer {
+            w: Linear::new(params, rng, &format!("{name}/w"), dim, dim),
+            alpha,
+            beta,
+        }
+    }
+
+    /// The identity-mapping mix factor for this depth.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// Applies the layer. `x0` is the initial (layer-0) representation,
+    /// `adj_gcn` the symmetrically normalized adjacency.
+    pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var, x0: Var, adj_gcn: Var) -> Var {
+        let px = tape.matmul(adj_gcn, x);
+        let px = tape.scale(px, 1.0 - self.alpha);
+        let res = tape.scale(x0, self.alpha);
+        let mixed = tape.add(px, res); // (1-a) P x + a x0
+        let identity_part = tape.scale(mixed, 1.0 - self.beta);
+        let transformed = self.w.forward_no_bias(tape, params, mixed);
+        let transformed = tape.scale(transformed, self.beta);
+        let out = tape.add(identity_part, transformed);
+        tape.relu(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Mat;
+
+    #[test]
+    fn beta_decays_with_depth() {
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(1);
+        let l1 = Gcn2Layer::new(&mut params, &mut rng, "a", 4, 1, 0.1, 0.5);
+        let l9 = Gcn2Layer::new(&mut params, &mut rng, "b", 4, 9, 0.1, 0.5);
+        assert!(l1.beta() > l9.beta());
+    }
+
+    #[test]
+    fn initial_residual_keeps_x0_visible() {
+        // With many layers, the output still depends on x0 thanks to the
+        // alpha term (the anti-over-smoothing property).
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(5);
+        let layers: Vec<Gcn2Layer> = (1..=8)
+            .map(|l| Gcn2Layer::new(&mut params, &mut rng, &format!("l{l}"), 3, l, 0.2, 0.5))
+            .collect();
+        let run = |x0m: Mat| {
+            let mut tape = Tape::new();
+            let adj = tape.constant(Mat::eye(4).scale(1.0)); // trivial graph
+            let x0 = tape.constant(x0m);
+            let mut x = x0;
+            for l in &layers {
+                x = l.forward(&mut tape, &params, x, x0, adj);
+            }
+            tape.value(x).clone()
+        };
+        let a = run(Mat::full(4, 3, 0.5));
+        let b = run(Mat::full(4, 3, 1.5));
+        assert_ne!(a, b, "x0 must still influence deep output");
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(5);
+        let layer = Gcn2Layer::new(&mut params, &mut rng, "l", 6, 1, 0.1, 0.5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Mat::full(5, 6, 0.3));
+        let adj = tape.constant(Mat::eye(5));
+        let y = layer.forward(&mut tape, &params, x, x, adj);
+        assert_eq!(tape.value(y).shape(), (5, 6));
+    }
+}

@@ -1,0 +1,172 @@
+//! Affine layers and small MLPs.
+
+use tensor::init::{he, xavier, InitRng};
+use tensor::{Mat, ParamSet, Tape, Var};
+
+/// An affine map `y = x W + b` with `W: in x out`, `b: 1 x out`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: usize,
+    b: usize,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's weights (He-uniform, zero bias) in `params`.
+    pub fn new(
+        params: &mut ParamSet,
+        rng: &mut InitRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = params.add(format!("{name}/w"), he(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}/b"), Mat::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Same, with Xavier initialization (attention projections).
+    pub fn new_xavier(
+        params: &mut ParamSet,
+        rng: &mut InitRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = params.add(format!("{name}/w"), xavier(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}/b"), Mat::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var) -> Var {
+        let w = tape.param(self.w, params.get(self.w).clone());
+        let b = tape.param(self.b, params.get(self.b).clone());
+        let xw = tape.matmul(x, w);
+        tape.add_bias_rows(xw, b)
+    }
+
+    /// Applies only the weight (no bias) — used where the paper's
+    /// equations have a bare learnable matrix.
+    pub fn forward_no_bias(&self, tape: &mut Tape, params: &ParamSet, x: Var) -> Var {
+        let w = tape.param(self.w, params.get(self.w).clone());
+        tape.matmul(x, w)
+    }
+}
+
+/// A small ReLU MLP: `Linear -> ReLU -> ... -> Linear`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Registers an MLP with the given layer widths, e.g.
+    /// `[in, hidden, out]` makes two affine layers with one ReLU between.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` has fewer than two entries.
+    pub fn new(params: &mut ParamSet, rng: &mut InitRng, name: &str, dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(params, rng, &format!("{name}/l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Applies the MLP (ReLU between layers, linear output).
+    pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, params, h);
+            if i + 1 < self.layers.len() {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes() {
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(1);
+        let l = Linear::new(&mut params, &mut rng, "t", 3, 5);
+        assert_eq!(l.in_dim(), 3);
+        assert_eq!(l.out_dim(), 5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Mat::full(4, 3, 1.0));
+        let y = l.forward(&mut tape, &params, x);
+        assert_eq!(tape.value(y).shape(), (4, 5));
+        let y2 = l.forward_no_bias(&mut tape, &params, x);
+        assert_eq!(tape.value(y2).shape(), (4, 5));
+    }
+
+    #[test]
+    fn mlp_learns_linear_map() {
+        // Fit y = 3x - 1 with a 1-16-1 MLP.
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(7);
+        let mlp = Mlp::new(&mut params, &mut rng, "m", &[1, 16, 1]);
+        let xs = Mat::from_vec(8, 1, (0..8).map(|i| i as f32 * 0.2 - 0.8).collect()).unwrap();
+        let ys = Mat::from_vec(
+            8,
+            1,
+            xs.as_slice().iter().map(|x| 3.0 * x - 1.0).collect(),
+        )
+        .unwrap();
+        let mut opt = tensor::optim::Adam::new(0.02);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let pred = mlp.forward(&mut tape, &params, x);
+            let loss = tape.mse_loss(pred, &ys);
+            tape.backward(loss);
+            final_loss = tape.value(loss).get(0, 0);
+            opt.step(&mut params, &tape.param_grads());
+        }
+        assert!(final_loss < 1e-3, "loss {final_loss}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mlp_needs_two_dims() {
+        let mut params = ParamSet::new();
+        let mut rng = InitRng::new(1);
+        let _ = Mlp::new(&mut params, &mut rng, "m", &[3]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Neural building blocks over the autograd tape.
+//!
+//! Each layer registers its weights in a shared [`tensor::ParamSet`] at
+//! construction time; every forward pass re-inserts them into the current
+//! [`tensor::Tape`] (define-by-run, so one tape per training step). All
+//! shapes follow the row-vector convention: activations are `n x d`,
+//! weights right-multiply.
+
+mod attention;
+mod gat;
+mod gcn2;
+mod linear;
+mod transformer;
+mod wsage;
+
+pub use attention::MhsaLayer;
+pub use gat::GatLayer;
+pub use gcn2::Gcn2Layer;
+pub use linear::{Linear, Mlp};
+pub use transformer::TransformerLayer;
+pub use wsage::WSageLayer;

@@ -1,0 +1,333 @@
+//! Shared training loop: Adam on per-net MSE, matching the paper's
+//! end-to-end training objective (minimize MSE between estimated and
+//! golden slew/delay, §IV).
+
+use crate::batch::GraphBatch;
+use crate::models::GraphModel;
+use crate::GnnError;
+use tensor::init::InitRng;
+use tensor::optim::Adam;
+use tensor::Tape;
+
+/// Training-loop knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed (nets are visited in a new order each epoch).
+    pub seed: u64,
+    /// Global gradient-norm clip (`None` = unclipped).
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            lr: 3e-3,
+            seed: 0,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean per-net loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Trains `model` on labelled batches.
+///
+/// # Errors
+///
+/// Returns [`GnnError::BadBatch`] when a batch lacks targets and
+/// [`GnnError::Diverged`] when the epoch loss becomes non-finite.
+pub fn train<M: GraphModel + ?Sized>(
+    model: &mut M,
+    batches: &[GraphBatch],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, GnnError> {
+    for (i, b) in batches.iter().enumerate() {
+        if b.targets.is_none() {
+            return Err(GnnError::BadBatch(format!("batch {i} has no targets")));
+        }
+    }
+    let mut opt = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..batches.len()).collect();
+    let mut rng = InitRng::new(cfg.seed);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        // Fisher-Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut total = 0.0f32;
+        for &bi in &order {
+            let batch = &batches[bi];
+            let targets = batch.targets.as_ref().expect("validated above");
+            let mut tape = Tape::new();
+            let pred = model.forward(&mut tape, batch);
+            let loss = tape.mse_loss(pred, targets);
+            tape.backward(loss);
+            total += tape.value(loss).get(0, 0);
+
+            let mut grads = tape.param_grads();
+            if let Some(clip) = cfg.grad_clip {
+                let norm: f32 = grads
+                    .iter()
+                    .map(|(_, g)| g.norm() * g.norm())
+                    .sum::<f32>()
+                    .sqrt();
+                if norm > clip {
+                    let s = clip / norm;
+                    for (_, g) in &mut grads {
+                        *g = g.scale(s);
+                    }
+                }
+            }
+            opt.step(model.param_set_mut(), &grads);
+        }
+        let mean = total / batches.len().max(1) as f32;
+        if !mean.is_finite() {
+            return Err(GnnError::Diverged { epoch });
+        }
+        epoch_losses.push(mean);
+    }
+    Ok(TrainReport { epoch_losses })
+}
+
+/// Mean validation loss of `model` over `batches` (forward only).
+///
+/// # Errors
+///
+/// Returns [`GnnError::BadBatch`] when a batch lacks targets.
+pub fn validation_loss<M: GraphModel + ?Sized>(
+    model: &M,
+    batches: &[GraphBatch],
+) -> Result<f32, GnnError> {
+    let mut total = 0.0f32;
+    for (i, batch) in batches.iter().enumerate() {
+        let targets = batch
+            .targets
+            .as_ref()
+            .ok_or_else(|| GnnError::BadBatch(format!("validation batch {i} has no targets")))?;
+        let mut tape = Tape::new();
+        let pred = model.forward(&mut tape, batch);
+        let loss = tape.mse_loss(pred, targets);
+        total += tape.value(loss).get(0, 0);
+    }
+    Ok(total / batches.len().max(1) as f32)
+}
+
+/// Result of [`train_with_early_stopping`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedReport {
+    /// Per-epoch training losses (up to the stopping epoch).
+    pub train_losses: Vec<f32>,
+    /// Per-epoch validation losses.
+    pub val_losses: Vec<f32>,
+    /// Epoch whose weights were kept (0-based).
+    pub best_epoch: usize,
+}
+
+/// Trains with a held-out validation set, stopping after `patience`
+/// epochs without improvement and restoring the best-epoch weights.
+///
+/// # Errors
+///
+/// Propagates [`train`] and [`validation_loss`] failures.
+pub fn train_with_early_stopping<M: GraphModel + ?Sized>(
+    model: &mut M,
+    train_batches: &[GraphBatch],
+    val_batches: &[GraphBatch],
+    cfg: &TrainConfig,
+    patience: usize,
+) -> Result<ValidatedReport, GnnError> {
+    let mut train_losses = Vec::new();
+    let mut val_losses = Vec::new();
+    let mut best: Option<(usize, f32, tensor::ParamSet)> = None;
+    for epoch in 0..cfg.epochs {
+        // One epoch at a time so validation interleaves; the shuffle seed
+        // advances per epoch to keep visit orders distinct.
+        let one = TrainConfig {
+            epochs: 1,
+            seed: cfg.seed.wrapping_add(epoch as u64),
+            ..cfg.clone()
+        };
+        let r = train(model, train_batches, &one)?;
+        train_losses.push(r.final_loss());
+        let vl = validation_loss(model, val_batches)?;
+        val_losses.push(vl);
+        let improved = best.as_ref().map_or(true, |(_, b, _)| vl < *b);
+        if improved {
+            best = Some((epoch, vl, model.param_set().clone()));
+        } else if let Some((be, _, _)) = best.as_ref() {
+            if epoch - be >= patience {
+                break;
+            }
+        }
+    }
+    let (best_epoch, _, params) = best.ok_or(GnnError::Diverged { epoch: 0 })?;
+    *model.param_set_mut() = params;
+    Ok(ValidatedReport {
+        train_losses,
+        val_losses,
+        best_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{GnnTrans, GnnTransConfig};
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+    use tensor::Mat;
+
+    fn labelled_batch(r: f64, target: f32) -> GraphBatch {
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(r));
+        let net = b.build().unwrap();
+        let x = Mat::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, (r as f32) / 100.0]).unwrap();
+        let pf = vec![Mat::row_vector(vec![(r as f32) / 100.0, 1.0])];
+        let t = Mat::from_vec(1, 2, vec![target, target * 2.0]).unwrap();
+        GraphBatch::build(&net, x, pf, Some(t)).unwrap()
+    }
+
+    fn tiny_model() -> GnnTrans {
+        GnnTrans::new(
+            &GnnTransConfig {
+                node_dim: 3,
+                path_dim: 2,
+                hidden: 8,
+                gnn_layers: 2,
+                attn_layers: 1,
+                heads: 2,
+                mlp_hidden: 8,
+                ..Default::default()
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn loss_decreases_on_learnable_task() {
+        let batches = vec![
+            labelled_batch(10.0, 0.1),
+            labelled_batch(50.0, 0.5),
+            labelled_batch(90.0, 0.9),
+        ];
+        let mut model = tiny_model();
+        let report = train(
+            &mut model,
+            &batches,
+            &TrainConfig {
+                epochs: 60,
+                lr: 5e-3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first * 0.2, "loss must drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn rejects_unlabelled_batches() {
+        let mut b = labelled_batch(10.0, 0.1);
+        b.targets = None;
+        let mut model = tiny_model();
+        assert!(matches!(
+            train(&mut model, &[b], &TrainConfig::default()),
+            Err(GnnError::BadBatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_training_set_is_noop() {
+        let mut model = tiny_model();
+        let report = train(
+            &mut model,
+            &[],
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert_eq!(report.epoch_losses[0], 0.0);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let train_set = vec![
+            labelled_batch(10.0, 0.1),
+            labelled_batch(50.0, 0.5),
+            labelled_batch(90.0, 0.9),
+        ];
+        let val_set = vec![labelled_batch(30.0, 0.3), labelled_batch(70.0, 0.7)];
+        let mut model = tiny_model();
+        let report = train_with_early_stopping(
+            &mut model,
+            &train_set,
+            &val_set,
+            &TrainConfig {
+                epochs: 40,
+                lr: 5e-3,
+                ..Default::default()
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(report.train_losses.len(), report.val_losses.len());
+        assert!(report.best_epoch < report.val_losses.len());
+        // The restored weights reproduce the best validation loss.
+        let restored = validation_loss(&model, &val_set).unwrap();
+        let best = report.val_losses[report.best_epoch];
+        assert!((restored - best).abs() < 1e-6, "restored {restored} vs best {best}");
+        // Best is the minimum of the recorded series.
+        assert!(report
+            .val_losses
+            .iter()
+            .all(|&v| v >= best - 1e-7));
+    }
+
+    #[test]
+    fn validation_loss_requires_targets() {
+        let mut b = labelled_batch(10.0, 0.1);
+        b.targets = None;
+        let model = tiny_model();
+        assert!(validation_loss(&model, &[b]).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let batches = vec![labelled_batch(10.0, 0.1), labelled_batch(90.0, 0.9)];
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let mut m1 = tiny_model();
+        let r1 = train(&mut m1, &batches, &cfg).unwrap();
+        let mut m2 = tiny_model();
+        let r2 = train(&mut m2, &batches, &cfg).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(m1.predict(&batches[0]), m2.predict(&batches[0]));
+    }
+}

@@ -1,0 +1,166 @@
+//! Random gate-level DAGs and exact path counting.
+//!
+//! The paper's Fig. 1/Fig. 2(a) argument: the number of timing paths on a
+//! gate netlist explodes combinatorially with gate count (ISCAS89-scale
+//! circuits already exceed a million), while a wire RC net has one path
+//! per sink. This module generates random combinational DAGs and counts
+//! their input→output paths exactly (saturating at `u128::MAX`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A combinational gate DAG in topological order.
+#[derive(Debug, Clone)]
+pub struct GateDag {
+    /// Per-gate fan-in lists (indices of earlier gates; empty = primary
+    /// input).
+    pub fanin: Vec<Vec<usize>>,
+    /// Gates with no fan-out (primary outputs).
+    pub outputs: Vec<usize>,
+}
+
+impl GateDag {
+    /// Generates a random DAG with `n_gates` gates.
+    ///
+    /// The first `max(1, n/10)` gates are primary inputs; every other gate
+    /// draws 1–3 fan-ins from a sliding window of earlier gates, which
+    /// produces the reconvergent fan-out that makes path counts explode.
+    pub fn random(n_gates: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_inputs = (n_gates / 10).max(1).min(n_gates);
+        let mut fanin: Vec<Vec<usize>> = vec![Vec::new(); n_gates];
+        let mut has_fanout = vec![false; n_gates];
+        for g in n_inputs..n_gates {
+            let k = rng.gen_range(1..=3usize);
+            let window = 64.min(g);
+            for _ in 0..k {
+                let src = g - 1 - rng.gen_range(0..window);
+                if !fanin[g].contains(&src) {
+                    fanin[g].push(src);
+                    has_fanout[src] = true;
+                }
+            }
+        }
+        let outputs = (0..n_gates).filter(|&g| !has_fanout[g]).collect();
+        GateDag { fanin, outputs }
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.fanin.len()
+    }
+
+    /// Whether the DAG has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.fanin.is_empty()
+    }
+
+    /// Exact number of input→output paths, saturating at `u128::MAX`.
+    ///
+    /// Dynamic programming over the topological order: a primary input has
+    /// one incoming path; every gate sums its fan-ins' counts.
+    pub fn path_count(&self) -> u128 {
+        let mut count = vec![0u128; self.len()];
+        for g in 0..self.len() {
+            if self.fanin[g].is_empty() {
+                count[g] = 1;
+            } else {
+                let mut acc: u128 = 0;
+                for &src in &self.fanin[g] {
+                    acc = acc.saturating_add(count[src]);
+                }
+                count[g] = acc;
+            }
+        }
+        self.outputs
+            .iter()
+            .fold(0u128, |acc, &g| acc.saturating_add(count[g]))
+    }
+
+    /// Path count as a float (for plotting; loses precision above 2^53).
+    pub fn path_count_f64(&self) -> f64 {
+        let mut count = vec![0f64; self.len()];
+        for g in 0..self.len() {
+            if self.fanin[g].is_empty() {
+                count[g] = 1.0;
+            } else {
+                count[g] = self.fanin[g].iter().map(|&s| count[s]).sum();
+            }
+        }
+        self.outputs.iter().map(|&g| count[g]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_diamond_counts_two_paths() {
+        // in -> a, in -> b, a & b -> out: 2 paths.
+        let dag = GateDag {
+            fanin: vec![vec![], vec![0], vec![0], vec![1, 2]],
+            outputs: vec![3],
+        };
+        assert_eq!(dag.path_count(), 2);
+        assert_eq!(dag.path_count_f64(), 2.0);
+    }
+
+    #[test]
+    fn chain_has_one_path() {
+        let dag = GateDag {
+            fanin: vec![vec![], vec![0], vec![1], vec![2]],
+            outputs: vec![3],
+        };
+        assert_eq!(dag.path_count(), 1);
+    }
+
+    #[test]
+    fn path_count_grows_superlinearly() {
+        let small = GateDag::random(100, 4).path_count_f64();
+        let large = GateDag::random(1000, 4).path_count_f64();
+        assert!(small >= 1.0);
+        assert!(
+            large > small * 50.0,
+            "paths must explode: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn random_dag_is_topological() {
+        let dag = GateDag::random(500, 7);
+        for (g, fi) in dag.fanin.iter().enumerate() {
+            for &src in fi {
+                assert!(src < g, "fan-in must reference earlier gates");
+            }
+        }
+        assert!(!dag.outputs.is_empty());
+        assert!(!dag.is_empty());
+        assert_eq!(dag.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GateDag::random(200, 1).path_count();
+        let b = GateDag::random(200, 1).path_count();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        // Deep reconvergence doubles counts every level; 300 levels * 2
+        // fan-ins would overflow u128 around level 127.
+        let mut fanin: Vec<Vec<usize>> = vec![vec![]];
+        for level in 0..300 {
+            let prev = level; // single chain of 2-parallel diamonds
+            fanin.push(vec![prev, prev]);
+        }
+        let n = fanin.len();
+        let dag = GateDag {
+            fanin,
+            outputs: vec![n - 1],
+        };
+        assert_eq!(dag.path_count(), u128::MAX);
+        assert!(dag.path_count_f64().is_finite() || dag.path_count_f64() > 1e30);
+    }
+}

@@ -1,0 +1,196 @@
+//! The TABLE II benchmark roster, scaled for laptop-class runs.
+//!
+//! Each paper design is mirrored by name with its cell/net/FF/CP counts
+//! and — the part that matters for the estimator — its non-tree net
+//! fraction. A `scale` knob shrinks the net counts proportionally so the
+//! full train/test pipeline runs in minutes; the harness reports the
+//! factor next to every runtime number.
+
+use crate::nets::{NetConfig, NetGenerator};
+use rcnet::RcNet;
+
+/// Static statistics of one paper benchmark (TABLE II row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Cell count.
+    pub cells: u64,
+    /// Net count.
+    pub nets: u64,
+    /// Non-tree net count (parenthesized column).
+    pub nontree_nets: u64,
+    /// Flip-flop count.
+    pub ffs: u64,
+    /// Clock-pin count.
+    pub cps: u64,
+    /// `true` for the training split.
+    pub train: bool,
+}
+
+impl DesignSpec {
+    /// Fraction of nets that are non-tree.
+    pub fn nontree_frac(&self) -> f64 {
+        self.nontree_nets as f64 / self.nets as f64
+    }
+}
+
+/// The full TABLE II roster (11 training designs, 7 test designs).
+pub fn paper_roster() -> Vec<DesignSpec> {
+    let t = true;
+    let f = false;
+    vec![
+        DesignSpec { name: "PCI_BRIDGE", cells: 1234, nets: 1598, nontree_nets: 279, ffs: 310, cps: 456, train: t },
+        DesignSpec { name: "DMA", cells: 10215, nets: 10898, nontree_nets: 1963, ffs: 1956, cps: 1475, train: t },
+        DesignSpec { name: "B19", cells: 33785, nets: 34399, nontree_nets: 8906, ffs: 3420, cps: 5093, train: t },
+        DesignSpec { name: "SALSA", cells: 52895, nets: 57737, nontree_nets: 16802, ffs: 7836, cps: 9648, train: t },
+        DesignSpec { name: "RocketCore", cells: 90859, nets: 93812, nontree_nets: 38919, ffs: 16784, cps: 12475, train: t },
+        DesignSpec { name: "VGA_LCD", cells: 56194, nets: 56279, nontree_nets: 20527, ffs: 17054, cps: 8761, train: t },
+        DesignSpec { name: "ECG", cells: 84127, nets: 85058, nontree_nets: 31067, ffs: 14018, cps: 13189, train: t },
+        DesignSpec { name: "TATE", cells: 184601, nets: 185379, nontree_nets: 51037, ffs: 31409, cps: 27931, train: t },
+        DesignSpec { name: "JPEG", cells: 219064, nets: 231934, nontree_nets: 73915, ffs: 37642, cps: 36489, train: t },
+        DesignSpec { name: "NETCARD", cells: 316137, nets: 317974, nontree_nets: 76924, ffs: 87317, cps: 46713, train: t },
+        DesignSpec { name: "LEON3MP", cells: 341000, nets: 341263, nontree_nets: 81687, ffs: 108724, cps: 50716, train: t },
+        DesignSpec { name: "WB_DMA", cells: 40962, nets: 40664, nontree_nets: 9493, ffs: 718, cps: 9619, train: f },
+        DesignSpec { name: "LDPC", cells: 39377, nets: 42018, nontree_nets: 10257, ffs: 2048, cps: 7613, train: f },
+        DesignSpec { name: "DES_PERT", cells: 48289, nets: 48523, nontree_nets: 9534, ffs: 2983, cps: 10976, train: f },
+        DesignSpec { name: "AES-128", cells: 113168, nets: 90905, nontree_nets: 42657, ffs: 10686, cps: 24973, train: f },
+        DesignSpec { name: "TV_CORE", cells: 207414, nets: 189262, nontree_nets: 53147, ffs: 40681, cps: 33706, train: f },
+        DesignSpec { name: "NOVA", cells: 141990, nets: 139224, nontree_nets: 36482, ffs: 30494, cps: 39341, train: f },
+        DesignSpec { name: "OPENGFX", cells: 219064, nets: 231934, nontree_nets: 62395, ffs: 37642, cps: 47831, train: f },
+    ]
+}
+
+/// A generated (scaled) design: the spec plus its parasitic nets.
+#[derive(Debug)]
+pub struct Design {
+    /// The paper statistics this design mirrors.
+    pub spec: DesignSpec,
+    /// Scale factor applied to the net count.
+    pub scale: f64,
+    /// Generated nets; non-tree nets first would bias training, so tree
+    /// and non-tree nets are interleaved in generation order.
+    pub nets: Vec<RcNet>,
+}
+
+impl Design {
+    /// Number of generated nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Generated non-tree nets.
+    pub fn nontree_nets(&self) -> impl Iterator<Item = &RcNet> {
+        self.nets.iter().filter(|n| !n.is_tree())
+    }
+}
+
+/// Stable per-design seed derived from a global seed and the design name.
+fn design_seed(global: u64, name: &str) -> u64 {
+    // FNV-1a over the name, mixed with the global seed.
+    let mut h: u64 = 0xcbf29ce484222325 ^ global.wrapping_mul(0x100000001b3);
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Generates the scaled nets of one design.
+///
+/// `scale` multiplies the paper's net count (e.g. `0.005` turns 40 664
+/// WB_DMA nets into ~203); the non-tree fraction is preserved exactly.
+/// At least one net of each present kind is generated.
+///
+/// # Panics
+///
+/// Panics when `scale` is not positive.
+pub fn generate_design(spec: &DesignSpec, scale: f64, global_seed: u64, cfg: NetConfig) -> Design {
+    assert!(scale > 0.0, "scale must be positive");
+    let total = ((spec.nets as f64 * scale).round() as usize).max(2);
+    let nontree = ((total as f64 * spec.nontree_frac()).round() as usize)
+        .max(1)
+        .min(total - 1);
+    let mut g = NetGenerator::new(design_seed(global_seed, spec.name), cfg);
+    // Interleave tree and non-tree nets deterministically.
+    let mut nets = Vec::with_capacity(total);
+    let mut made_nontree = 0usize;
+    for i in 0..total {
+        // Spread the non-tree nets evenly across the index range.
+        let want_nontree = (i + 1) * nontree / total;
+        let is_nontree = want_nontree > made_nontree;
+        if is_nontree {
+            made_nontree += 1;
+        }
+        nets.push(g.net(format!("{}_n{i}", spec.name), is_nontree));
+    }
+    Design {
+        spec: spec.clone(),
+        scale,
+        nets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper_totals() {
+        let roster = paper_roster();
+        assert_eq!(roster.len(), 18);
+        let train: Vec<_> = roster.iter().filter(|d| d.train).collect();
+        let test: Vec<_> = roster.iter().filter(|d| !d.train).collect();
+        assert_eq!(train.len(), 11);
+        assert_eq!(test.len(), 7);
+        // Paper totals for the test split: 810264 cells / 782530 nets /
+        // 223965 non-tree.
+        assert_eq!(test.iter().map(|d| d.cells).sum::<u64>(), 810264);
+        assert_eq!(test.iter().map(|d| d.nets).sum::<u64>(), 782530);
+        assert_eq!(test.iter().map(|d| d.nontree_nets).sum::<u64>(), 223965);
+    }
+
+    #[test]
+    fn generation_preserves_nontree_fraction() {
+        let spec = paper_roster()
+            .into_iter()
+            .find(|d| d.name == "WB_DMA")
+            .unwrap();
+        let d = generate_design(&spec, 0.005, 1, NetConfig::default());
+        let total = d.net_count();
+        let nontree = d.nontree_nets().count();
+        assert!(total >= 150, "got {total}");
+        let frac = nontree as f64 / total as f64;
+        assert!(
+            (frac - spec.nontree_frac()).abs() < 0.03,
+            "fraction {frac} vs {}",
+            spec.nontree_frac()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = paper_roster()
+            .into_iter()
+            .find(|d| d.name == "LDPC")
+            .unwrap();
+        let a = generate_design(&spec, 0.001, 9, NetConfig::default());
+        let b = generate_design(&spec, 0.001, 9, NetConfig::default());
+        assert_eq!(a.nets, b.nets);
+    }
+
+    #[test]
+    fn different_designs_differ() {
+        let roster = paper_roster();
+        let a = generate_design(&roster[0], 0.01, 9, NetConfig::default());
+        let b = generate_design(&roster[1], 0.001, 9, NetConfig::default());
+        assert_ne!(a.nets.first(), b.nets.first());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_panics() {
+        let spec = paper_roster().remove(0);
+        let _ = generate_design(&spec, 0.0, 1, NetConfig::default());
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic parasitic networks and benchmark designs.
+//!
+//! The paper trains and evaluates on Opencore designs extracted with
+//! StarRC on TSMC16 — none of which can ship with an open reproduction.
+//! This crate generates the statistical equivalent:
+//!
+//! * [`tech`] — a 16 nm-flavoured technology profile (per-segment R/C
+//!   ranges, pin caps, coupling caps);
+//! * [`nets`] — seeded generation of tree-like and non-tree RC nets with
+//!   realistic branching, loop chords and coupling;
+//! * [`designs`] — the TABLE II roster (PCI_BRIDGE … LEON3MP for
+//!   training, WB_DMA … OPENGFX for test) with per-design net counts,
+//!   non-tree fractions and a scale knob so laptop runs finish;
+//! * [`dag`] — random gate-level DAGs and exact path counting for the
+//!   Fig. 1/Fig. 2(a) statistics (netlist paths explode combinatorially,
+//!   wire paths do not);
+//! * [`special`] — balanced clock H-trees and neighbor-coupled buses for
+//!   stress scenarios beyond random routing trees.
+//!
+//! All generation is deterministic from explicit `u64` seeds.
+//!
+//! # Examples
+//!
+//! ```
+//! use netgen::nets::{NetConfig, NetGenerator};
+//!
+//! let mut g = NetGenerator::new(7, NetConfig::default());
+//! let net = g.nontree_net("n0");
+//! assert!(!net.is_tree());
+//! assert!(net.paths().len() >= 1);
+//! ```
+
+pub mod dag;
+pub mod designs;
+pub mod nets;
+pub mod special;
+pub mod tech;
+
+pub use designs::{generate_design, paper_roster, Design, DesignSpec};
+pub use nets::{NetConfig, NetGenerator};
+pub use special::{bus, clock_htree, Bus};
+pub use tech::TechProfile;

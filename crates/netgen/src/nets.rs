@@ -1,0 +1,300 @@
+//! Seeded generation of tree-like and non-tree RC nets.
+//!
+//! Topologies are grown like router output: a trunk is extended segment by
+//! segment with a tunable bias between chaining (long straight routes) and
+//! branching (T-junctions); a random subset of leaves become sink pins.
+//! Non-tree nets add loop-closing chords, the structure the paper singles
+//! out as the hard case for prior estimators.
+
+use crate::tech::TechProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcnet::{Farads, NodeId, Ohms, RcNet, RcNetBuilder};
+
+/// Shape knobs for net generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Minimum node count per net (>= 2).
+    pub nodes_min: usize,
+    /// Maximum node count per net.
+    pub nodes_max: usize,
+    /// Maximum sink count (clamped by available leaves).
+    pub sinks_max: usize,
+    /// Probability of extending the most recent node (chain) instead of
+    /// branching off a random earlier node.
+    pub chain_bias: f64,
+    /// Loop chords added to non-tree nets (inclusive range).
+    pub loops_min: usize,
+    /// Loop chords added to non-tree nets (inclusive range).
+    pub loops_max: usize,
+    /// Probability that a node carries a coupling capacitor to a foreign
+    /// aggressor net.
+    pub coupling_prob: f64,
+    /// Resistance multiplier for loop-closing chords. Values below 1 make
+    /// chords low-resistance shortcuts, amplifying how wrong loop-broken
+    /// (tree-projected) delay metrics are on non-tree nets.
+    pub chord_res_factor: f64,
+    /// Technology parameter ranges.
+    pub tech: TechProfile,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            nodes_min: 6,
+            nodes_max: 48,
+            sinks_max: 8,
+            chain_bias: 0.65,
+            loops_min: 1,
+            loops_max: 3,
+            coupling_prob: 0.15,
+            chord_res_factor: 0.35,
+            tech: TechProfile::n16(),
+        }
+    }
+}
+
+/// Deterministic RC net generator.
+///
+/// # Examples
+///
+/// ```
+/// use netgen::nets::{NetConfig, NetGenerator};
+///
+/// let mut g = NetGenerator::new(1, NetConfig::default());
+/// let tree = g.tree_net("t");
+/// assert!(tree.is_tree());
+/// ```
+#[derive(Debug)]
+pub struct NetGenerator {
+    rng: StdRng,
+    cfg: NetConfig,
+}
+
+impl NetGenerator {
+    /// Creates a generator with an explicit seed.
+    pub fn new(seed: u64, cfg: NetConfig) -> Self {
+        NetGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    fn res(&mut self) -> Ohms {
+        let t = &self.cfg.tech;
+        Ohms(self.rng.gen_range(t.seg_res_min.value()..t.seg_res_max.value()))
+    }
+
+    fn cap(&mut self) -> Farads {
+        let t = &self.cfg.tech;
+        Farads(self.rng.gen_range(t.seg_cap_min.value()..t.seg_cap_max.value()))
+    }
+
+    fn pin_cap(&mut self) -> Farads {
+        let t = &self.cfg.tech;
+        Farads(self.rng.gen_range(t.pin_cap_min.value()..t.pin_cap_max.value()))
+    }
+
+    fn coupling_cap(&mut self) -> Farads {
+        let t = &self.cfg.tech;
+        Farads(
+            self.rng
+                .gen_range(t.coupling_cap_min.value()..t.coupling_cap_max.value()),
+        )
+    }
+
+    /// Generates a tree-like net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`nodes_min < 2` or empty
+    /// ranges); the defaults are always valid.
+    pub fn tree_net(&mut self, name: impl Into<String>) -> RcNet {
+        self.generate(name, false)
+    }
+
+    /// Generates a non-tree net (tree plus 1+ loop-closing chords).
+    pub fn nontree_net(&mut self, name: impl Into<String>) -> RcNet {
+        self.generate(name, true)
+    }
+
+    /// Generates either kind.
+    pub fn net(&mut self, name: impl Into<String>, nontree: bool) -> RcNet {
+        self.generate(name, nontree)
+    }
+
+    fn generate(&mut self, name: impl Into<String>, nontree: bool) -> RcNet {
+        let name = name.into();
+        assert!(self.cfg.nodes_min >= 2, "nets need at least two nodes");
+        let n_nodes = self
+            .rng
+            .gen_range(self.cfg.nodes_min..=self.cfg.nodes_max.max(self.cfg.nodes_min));
+
+        let mut b = RcNetBuilder::new(name.clone());
+        let source = b.source(format!("{name}:drv"), Farads(0.0));
+        b.set_cap(source, self.cap());
+
+        // Grow the routing tree.
+        let mut nodes: Vec<NodeId> = vec![source];
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for i in 1..n_nodes {
+            let parent = if self.rng.gen_bool(self.cfg.chain_bias) {
+                *nodes.last().expect("nodes never empty")
+            } else {
+                nodes[self.rng.gen_range(0..nodes.len())]
+            };
+            let node = b.internal(format!("{name}:{i}"), Farads(0.0));
+            b.set_cap(node, self.cap());
+            let r = self.res();
+            b.resistor(parent, node, r);
+            edges.push((parent, node));
+            nodes.push(node);
+        }
+
+        // Leaves = nodes with no children (degree-1, excluding the source).
+        let mut has_child = vec![false; nodes.len()];
+        for &(p, _) in &edges {
+            has_child[p.index()] = true;
+        }
+        let mut leaves: Vec<NodeId> = nodes[1..]
+            .iter()
+            .copied()
+            .filter(|n| !has_child[n.index()])
+            .collect();
+        if leaves.is_empty() {
+            // Pure chain whose last node has a child list: take the last node.
+            leaves.push(*nodes.last().expect("non-empty"));
+        }
+        // Every leaf that is not promoted to a sink would be a dangling
+        // stub; promote a random subset (at least one) and leave the rest
+        // as stubs, as extraction artifacts produce in practice.
+        let n_sinks = self
+            .rng
+            .gen_range(1..=leaves.len().min(self.cfg.sinks_max.max(1)));
+        for i in 0..n_sinks {
+            // Partial Fisher-Yates: pick i-th sink uniformly.
+            let j = self.rng.gen_range(i..leaves.len());
+            leaves.swap(i, j);
+            let leaf = leaves[i];
+            let pin = self.pin_cap();
+            b.promote_to_sink(leaf, pin);
+        }
+
+        // Loop chords for non-tree nets.
+        if nontree && nodes.len() >= 3 {
+            let n_loops = self.rng.gen_range(self.cfg.loops_min..=self.cfg.loops_max);
+            let mut added = 0;
+            let mut guard = 0;
+            let min_span = nodes.len() / 3;
+            while added < n_loops && guard < 80 {
+                guard += 1;
+                let ai = self.rng.gen_range(0..nodes.len());
+                let ci = self.rng.gen_range(0..nodes.len());
+                // Chords must span topologically distant nodes (growth
+                // order approximates tree distance); nearby chords barely
+                // change the electrical behaviour.
+                if ai.abs_diff(ci) < min_span.max(1) {
+                    continue;
+                }
+                let (a, c) = (nodes[ai], nodes[ci]);
+                if edges.iter().any(|&(p, q)| (p == a && q == c) || (p == c && q == a)) {
+                    continue;
+                }
+                let r = self.res() * self.cfg.chord_res_factor;
+                b.resistor(a, c, r);
+                edges.push((a, c));
+                added += 1;
+            }
+        }
+
+        // Coupling capacitors.
+        for (i, &node) in nodes.iter().enumerate() {
+            if self.rng.gen_bool(self.cfg.coupling_prob) {
+                let cc = self.coupling_cap();
+                b.coupling(node, format!("agg_{name}:{i}"), cc);
+            }
+        }
+
+        b.build().expect("generated nets are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_nets_are_trees() {
+        let mut g = NetGenerator::new(11, NetConfig::default());
+        for i in 0..30 {
+            let net = g.tree_net(format!("t{i}"));
+            assert!(net.is_tree(), "net t{i} must be a tree");
+            assert!(!net.sinks().is_empty());
+            assert!(net.node_count() >= 6);
+        }
+    }
+
+    #[test]
+    fn nontree_nets_have_loops() {
+        let mut g = NetGenerator::new(13, NetConfig::default());
+        for i in 0..30 {
+            let net = g.nontree_net(format!("n{i}"));
+            assert!(!net.is_tree(), "net n{i} must have loops");
+            assert!(net.loop_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NetGenerator::new(5, NetConfig::default()).tree_net("x");
+        let b = NetGenerator::new(5, NetConfig::default()).tree_net("x");
+        assert_eq!(a, b);
+        let c = NetGenerator::new(6, NetConfig::default()).tree_net("x");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_within_tech_ranges() {
+        let cfg = NetConfig::default();
+        let mut g = NetGenerator::new(17, cfg.clone());
+        let net = g.nontree_net("v");
+        let r_min = cfg.tech.seg_res_min * cfg.chord_res_factor.min(1.0);
+        for (_, e) in net.iter_edges() {
+            assert!(e.res >= r_min && e.res <= cfg.tech.seg_res_max);
+        }
+        for (_, n) in net.iter_nodes() {
+            // Sinks get pin cap added on top of segment cap.
+            assert!(n.cap >= cfg.tech.seg_cap_min);
+            assert!(n.cap <= cfg.tech.seg_cap_max + cfg.tech.pin_cap_max);
+        }
+    }
+
+    #[test]
+    fn sink_count_respects_bound() {
+        let cfg = NetConfig {
+            sinks_max: 2,
+            ..Default::default()
+        };
+        let mut g = NetGenerator::new(23, cfg);
+        for i in 0..20 {
+            let net = g.tree_net(format!("s{i}"));
+            assert!(net.sinks().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn coupling_prob_zero_gives_no_couplings() {
+        let cfg = NetConfig {
+            coupling_prob: 0.0,
+            ..Default::default()
+        };
+        let mut g = NetGenerator::new(29, cfg);
+        let net = g.tree_net("c");
+        assert!(net.couplings().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Special-purpose net generators: balanced clock H-trees and coupled
+//! buses.
+//!
+//! Clock trees are the deepest, most path-heavy nets in a design and
+//! buses are the strongest crosstalk scenario (every bit couples to its
+//! neighbors) — both stress the estimator in ways random routing trees do
+//! not.
+
+use crate::tech::TechProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcnet::{Farads, NodeId, Ohms, RcNet, RcNetBuilder};
+
+/// Generates a balanced binary clock tree with `2^levels` sinks.
+///
+/// Upstream trunks are wide and downstream branches narrow, as clock-tree
+/// synthesis produces: per-segment resistance grows ×1.4 and capacitance
+/// shrinks ×1.5 per level, keeping all root→leaf paths electrically
+/// balanced (small random jitter models on-chip variation).
+///
+/// # Panics
+///
+/// Panics when `levels == 0` or `levels > 12` (4096 sinks is plenty).
+pub fn clock_htree(name: &str, levels: u32, tech: &TechProfile, seed: u64) -> RcNet {
+    assert!((1..=12).contains(&levels), "levels must be 1..=12");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = RcNetBuilder::new(name);
+    let base_res = (tech.seg_res_min.value() + tech.seg_res_max.value()) / 2.0;
+    let base_cap = (tech.seg_cap_min.value() + tech.seg_cap_max.value()) / 2.0;
+
+    let root = b.source(format!("{name}:drv"), Farads(base_cap));
+    let mut frontier = vec![root];
+    for level in 0..levels {
+        // Downstream levels are narrower wires: resistance grows gently
+        // (designers widen upstream trunks), capacitance shrinks with the
+        // halved segment length.
+        let res = Ohms(base_res * 1.4f64.powi(level as i32));
+        let cap = Farads(base_cap / 1.5f64.powi(level as i32));
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (pi, &parent) in frontier.iter().enumerate() {
+            for side in 0..2 {
+                let is_leaf = level + 1 == levels;
+                let node_name = format!("{name}:{level}_{pi}_{side}");
+                let node = b.internal(node_name, cap);
+                // Tiny mismatch keeps the tree realistic (OCV-style skew).
+                let jitter = 1.0 + 0.02 * rng.gen_range(-1.0..1.0);
+                b.resistor(parent, node, res * jitter);
+                if is_leaf {
+                    let pin = Farads(
+                        rng.gen_range(tech.pin_cap_min.value()..tech.pin_cap_max.value()),
+                    );
+                    b.promote_to_sink(node, pin);
+                }
+                next.push(node);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("H-tree construction is valid")
+}
+
+/// A generated bus: one victim net per bit, with coupling capacitors to
+/// the physically adjacent bits.
+#[derive(Debug)]
+pub struct Bus {
+    /// Per-bit nets, index = bit position.
+    pub bits: Vec<RcNet>,
+}
+
+impl Bus {
+    /// Bus width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Generates an `n_bits`-wide parallel bus of `segments`-segment routes.
+///
+/// Every internal node of bit `i` couples to the same position of bits
+/// `i-1`/`i+1` (half coupling at the edges) — the canonical worst-case
+/// switching scenario for SI analysis.
+///
+/// # Panics
+///
+/// Panics when `n_bits == 0` or `segments == 0`.
+pub fn bus(name: &str, n_bits: usize, segments: usize, tech: &TechProfile, seed: u64) -> Bus {
+    assert!(n_bits > 0 && segments > 0, "bus must have bits and segments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let res = (tech.seg_res_min.value() + tech.seg_res_max.value()) / 2.0;
+    let cap = (tech.seg_cap_min.value() + tech.seg_cap_max.value()) / 2.0;
+    let cc = (tech.coupling_cap_min.value() + tech.coupling_cap_max.value()) / 2.0;
+
+    let bits = (0..n_bits)
+        .map(|bit| {
+            let bit_name = format!("{name}[{bit}]");
+            let mut b = RcNetBuilder::new(bit_name.clone());
+            let mut prev = b.source(format!("{bit_name}:drv"), Farads(cap));
+            let mut nodes: Vec<NodeId> = Vec::with_capacity(segments);
+            for s in 0..segments {
+                let node = if s + 1 == segments {
+                    let pin =
+                        rng.gen_range(tech.pin_cap_min.value()..tech.pin_cap_max.value());
+                    b.sink(format!("{bit_name}:load"), Farads(cap + pin))
+                } else {
+                    b.internal(format!("{bit_name}:{s}"), Farads(cap))
+                };
+                let jitter = 1.0 + 0.05 * rng.gen_range(-1.0..1.0);
+                b.resistor(prev, node, Ohms(res * jitter));
+                nodes.push(node);
+                prev = node;
+            }
+            // Neighbor coupling: both sides for middle bits.
+            for (s, &node) in nodes.iter().enumerate() {
+                if bit > 0 {
+                    b.coupling(node, format!("{name}[{}]:{s}", bit - 1), Farads(cc));
+                }
+                if bit + 1 < n_bits {
+                    b.coupling(node, format!("{name}[{}]:{s}", bit + 1), Farads(cc));
+                }
+            }
+            b.build().expect("bus bit is valid")
+        })
+        .collect();
+    Bus { bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htree_has_power_of_two_sinks_and_is_tree() {
+        let net = clock_htree("clk", 4, &TechProfile::n16(), 1);
+        assert!(net.is_tree());
+        assert_eq!(net.sinks().len(), 16);
+        assert_eq!(net.paths().len(), 16);
+        // Balanced: all paths have the same hop count.
+        let lens: Vec<usize> = net.paths().iter().map(|p| p.nodes.len()).collect();
+        assert!(lens.iter().all(|&l| l == lens[0]));
+    }
+
+    #[test]
+    fn htree_paths_are_electrically_balanced() {
+        let net = clock_htree("clk", 5, &TechProfile::n16(), 2);
+        let res: Vec<f64> = net
+            .paths()
+            .iter()
+            .map(|p| p.total_res(&net).value())
+            .collect();
+        let min = res.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = res.iter().copied().fold(0.0, f64::max);
+        // 2% per-segment jitter keeps spread within ~15%.
+        assert!(max / min < 1.15, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn bus_bits_couple_to_neighbors() {
+        let bus = bus("data", 4, 6, &TechProfile::n16(), 3);
+        assert_eq!(bus.width(), 4);
+        // Edge bits couple one-sided, middle bits two-sided.
+        assert_eq!(bus.bits[0].couplings().len(), 6);
+        assert_eq!(bus.bits[1].couplings().len(), 12);
+        assert_eq!(bus.bits[3].couplings().len(), 6);
+        // Aggressor names point at real neighbor nodes.
+        assert!(bus.bits[1]
+            .couplings()
+            .iter()
+            .any(|c| c.aggressor.starts_with("data[0]")));
+        assert!(bus.bits[1]
+            .couplings()
+            .iter()
+            .any(|c| c.aggressor.starts_with("data[2]")));
+    }
+
+    #[test]
+    fn bus_bits_are_valid_chains() {
+        let bus = bus("q", 3, 5, &TechProfile::n16(), 7);
+        for bit in &bus.bits {
+            assert!(bit.is_tree());
+            assert_eq!(bit.sinks().len(), 1);
+            assert_eq!(bit.node_count(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_levels_panics() {
+        let _ = clock_htree("clk", 0, &TechProfile::n16(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = clock_htree("c", 3, &TechProfile::n16(), 5);
+        let b = clock_htree("c", 3, &TechProfile::n16(), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Technology profile: the parameter ranges parasitics are drawn from.
+
+use rcnet::{Farads, Ohms};
+
+/// Value ranges for synthetic parasitics, loosely calibrated to a 16 nm
+/// metal stack (tens of ohms and a fraction of a femtofarad per routed
+/// segment, femtofarad-class pin caps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechProfile {
+    /// Per-segment resistance range.
+    pub seg_res_min: Ohms,
+    /// Per-segment resistance range.
+    pub seg_res_max: Ohms,
+    /// Per-segment ground capacitance range.
+    pub seg_cap_min: Farads,
+    /// Per-segment ground capacitance range.
+    pub seg_cap_max: Farads,
+    /// Extra pin capacitance at sinks.
+    pub pin_cap_min: Farads,
+    /// Extra pin capacitance at sinks.
+    pub pin_cap_max: Farads,
+    /// Coupling capacitance range.
+    pub coupling_cap_min: Farads,
+    /// Coupling capacitance range.
+    pub coupling_cap_max: Farads,
+    /// Supply voltage.
+    pub vdd: f64,
+}
+
+impl TechProfile {
+    /// The default 16 nm-flavoured profile used throughout the
+    /// reproduction.
+    pub fn n16() -> Self {
+        TechProfile {
+            seg_res_min: Ohms(5.0),
+            seg_res_max: Ohms(120.0),
+            seg_cap_min: Farads::from_ff(0.1),
+            seg_cap_max: Farads::from_ff(2.5),
+            pin_cap_min: Farads::from_ff(0.4),
+            pin_cap_max: Farads::from_ff(3.0),
+            coupling_cap_min: Farads::from_ff(0.2),
+            coupling_cap_max: Farads::from_ff(2.0),
+            vdd: 0.8,
+        }
+    }
+}
+
+impl Default for TechProfile {
+    fn default() -> Self {
+        TechProfile::n16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_ordered() {
+        let t = TechProfile::n16();
+        assert!(t.seg_res_min < t.seg_res_max);
+        assert!(t.seg_cap_min < t.seg_cap_max);
+        assert!(t.pin_cap_min < t.pin_cap_max);
+        assert!(t.coupling_cap_min < t.coupling_cap_max);
+        assert!(t.vdd > 0.0);
+    }
+
+    #[test]
+    fn default_is_n16() {
+        assert_eq!(TechProfile::default(), TechProfile::n16());
+    }
+}

@@ -1,0 +1,73 @@
+//! Dense linear algebra and statistics substrate for the wire-timing workspace.
+//!
+//! The parasitic networks handled by the estimator are small (tens to a few
+//! hundred nodes), so a straightforward dense row-major [`Matrix`] with a
+//! partial-pivoting [`lu::LuFactor`] covers every solver need of the MNA
+//! simulator ([`rcsim`](https://docs.rs/rcsim)) and the moment engine
+//! ([`elmore`](https://docs.rs/elmore)) without pulling in an external BLAS.
+//!
+//! # Examples
+//!
+//! ```
+//! use numeric::{Matrix, Vector, lu::LuFactor};
+//!
+//! # fn main() -> Result<(), numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&Vector::from(vec![1.0, 2.0]))?;
+//! assert!((a.mul_vec(&x)[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod lu;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Short description of the operation that failed.
+        op: &'static str,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorized.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// Construction input was empty or ragged.
+    InvalidInput(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumericError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericError {}

@@ -1,0 +1,249 @@
+//! LU factorization with partial pivoting.
+//!
+//! The transient simulator factorizes its system matrix once per net and then
+//! back-substitutes thousands of right-hand sides, so the factorization is a
+//! separate, reusable object.
+
+use crate::{Matrix, NumericError, Vector};
+
+/// An LU factorization `P * A = L * U` of a square matrix with partial
+/// pivoting, reusable across many right-hand sides.
+///
+/// # Examples
+///
+/// ```
+/// use numeric::{Matrix, Vector, LuFactor};
+///
+/// # fn main() -> Result<(), numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuFactor::new(&a)?;
+/// let x = lu.solve(&Vector::from(vec![3.0, 5.0]))?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    n: usize,
+    /// Packed L (unit diagonal, below) and U (on and above the diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row stored at position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation, used by [`LuFactor::det`].
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when `a` is not square and
+    /// [`NumericError::Singular`] when a pivot column is numerically zero.
+    pub fn new(a: &Matrix) -> Result<Self, NumericError> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::InvalidInput(format!(
+                "LU requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivot: pick the largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= f64::EPSILON * scale * (n as f64) {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let upd = factor * lu[(k, j)];
+                        lu[(i, j)] -= upd;
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { n, lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A * x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, NumericError> {
+        if b.len() != self.n {
+            return Err(NumericError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (b.len(), 1),
+                op: "lu solve",
+            });
+        }
+        let mut x = Vector::zeros(self.n);
+        // Apply permutation and forward-substitute L (unit diagonal).
+        for i in 0..self.n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back-substitute U.
+        for i in (0..self.n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..self.n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// One-shot convenience wrapper: factorize `a` and solve `a * x = b`.
+///
+/// # Errors
+///
+/// Propagates factorization and shape errors from [`LuFactor`].
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, NumericError> {
+    LuFactor::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &Vector, b: &Vector) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
+            .unwrap();
+        let b = Vector::from(vec![1.0, -2.0, 0.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!((x[2] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = Vector::from(vec![2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_hand_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reusable_factorization_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        for (b0, b1) in [(1.0, 0.0), (0.0, 1.0), (2.5, -3.0)] {
+            let b = Vector::from(vec![b0, b1]);
+            let x = lu.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn solves_moderately_large_diagonally_dominant_system() {
+        let n = 50;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = if i == j {
+                    (n as f64) + 1.0
+                } else {
+                    1.0 / ((i + j + 1) as f64)
+                };
+            }
+        }
+        let xs: Vector = (0..n).map(|i| (i as f64) * 0.1 - 2.0).collect();
+        let b = a.mul_vec(&xs);
+        let x = solve(&a, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - xs[i]).abs() < 1e-9, "component {i}");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Dense row-major `f64` matrix.
+
+use crate::{NumericError, Vector};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use numeric::Matrix;
+///
+/// # fn main() -> Result<(), numeric::NumericError> {
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows` x `cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n` x `n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when `rows` is empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericError> {
+        if rows.is_empty() {
+            return Err(NumericError::InvalidInput("no rows given".into()));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(NumericError::InvalidInput("zero-width rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumericError::InvalidInput(format!(
+                    "row {i} has {} columns, expected {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumericError> {
+        if data.len() != rows * cols {
+            return Err(NumericError::InvalidInput(format!(
+                "data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NumericError> {
+        if self.cols != rhs.rows {
+            return Err(NumericError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &Vector) -> Vector {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, x) in row.iter().zip(v.as_slice()) {
+                acc += a * x;
+            }
+            out[i] = acc;
+        }
+        Vector::from(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, NumericError> {
+        if self.shape() != rhs.shape() {
+            return Err(NumericError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "add",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self` scaled by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// Linear combination `alpha * self + beta * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when shapes differ.
+    pub fn axpby(&self, alpha: f64, rhs: &Matrix, beta: f64) -> Result<Matrix, NumericError> {
+        if self.shape() != rhs.shape() {
+            return Err(NumericError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "axpby",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| alpha * a + beta * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Largest absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Whether the matrix is square and symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, NumericError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        let empty_row: &[f64] = &[];
+        assert!(Matrix::from_rows(&[empty_row]).is_err());
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(NumericError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 7.0]]).unwrap();
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let v = Vector::from(vec![1.0, -1.0]);
+        let out = a.mul_vec(&v);
+        assert_eq!(out.as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, -1.0]]).unwrap();
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.as_slice(), &[4.0, 1.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn axpby_combines() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]).unwrap();
+        let c = a.axpby(2.0, &b, 0.5).unwrap();
+        assert_eq!(c.as_slice(), &[7.0, 14.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 5.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 5.0]]).unwrap();
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let m = Matrix::from_rows(&[&[1.0, -7.5], &[3.0, 2.0]]).unwrap();
+        assert_eq!(m.max_abs(), 7.5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Accuracy statistics used throughout the evaluation: R² score, mean
+//! absolute error, and maximum absolute error — the three quantities the
+//! paper reports in TABLE III-V.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of determination `R² = 1 - SS_res / SS_tot`.
+///
+/// Matches the paper's accuracy metric: 1.0 means a perfect fit, values can
+/// go negative for predictions worse than the mean. Returns `None` when the
+/// slices differ in length, are empty, or the truth is constant (undefined
+/// `SS_tot`).
+///
+/// # Examples
+///
+/// ```
+/// let truth = [1.0, 2.0, 3.0];
+/// assert_eq!(numeric::stats::r2_score(&truth, &truth), Some(1.0));
+/// ```
+pub fn r2_score(truth: &[f64], pred: &[f64]) -> Option<f64> {
+    if truth.len() != pred.len() || truth.is_empty() {
+        return None;
+    }
+    let m = mean(truth);
+    let ss_tot: f64 = truth.iter().map(|y| (y - m) * (y - m)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+/// Mean absolute error. Returns `None` on length mismatch or empty input.
+pub fn mean_abs_err(truth: &[f64], pred: &[f64]) -> Option<f64> {
+    if truth.len() != pred.len() || truth.is_empty() {
+        return None;
+    }
+    Some(
+        truth
+            .iter()
+            .zip(pred)
+            .map(|(y, p)| (y - p).abs())
+            .sum::<f64>()
+            / truth.len() as f64,
+    )
+}
+
+/// Maximum absolute error (the paper's "MAE" column in TABLE V).
+/// Returns `None` on length mismatch or empty input.
+pub fn max_abs_err(truth: &[f64], pred: &[f64]) -> Option<f64> {
+    if truth.len() != pred.len() || truth.is_empty() {
+        return None;
+    }
+    Some(
+        truth
+            .iter()
+            .zip(pred)
+            .map(|(y, p)| (y - p).abs())
+            .fold(0.0_f64, f64::max),
+    )
+}
+
+/// Root-mean-square error. Returns `None` on length mismatch or empty input.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> Option<f64> {
+    if truth.len() != pred.len() || truth.is_empty() {
+        return None;
+    }
+    let mse = truth
+        .iter()
+        .zip(pred)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / truth.len() as f64;
+    Some(mse.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction_has_r2_one() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2_score(&y, &y), Some(1.0));
+    }
+
+    #[test]
+    fn mean_prediction_has_r2_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        let r2 = r2_score(&y, &p).unwrap();
+        assert!(r2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn r2_undefined_cases() {
+        assert_eq!(r2_score(&[], &[]), None);
+        assert_eq!(r2_score(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(r2_score(&[2.0, 2.0], &[2.0, 2.0]), None);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let y = [0.0, 1.0, 2.0];
+        let p = [0.5, 1.0, 0.0];
+        assert_eq!(mean_abs_err(&y, &p), Some(2.5 / 3.0));
+        assert_eq!(max_abs_err(&y, &p), Some(2.0));
+        let r = rmse(&y, &p).unwrap();
+        assert!((r - (4.25_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics_reject_mismatch() {
+        assert_eq!(mean_abs_err(&[1.0], &[]), None);
+        assert_eq!(max_abs_err(&[], &[]), None);
+        assert_eq!(rmse(&[1.0], &[1.0, 2.0]), None);
+    }
+}

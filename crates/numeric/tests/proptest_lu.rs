@@ -1,0 +1,72 @@
+//! Property tests for the LU solver: random diagonally dominant systems
+//! must solve to small residuals, and the determinant must match the
+//! permutation-free 2x2 closed form.
+
+use numeric::{LuFactor, Matrix, Vector};
+use proptest::prelude::*;
+
+fn diag_dominant(n: usize, values: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    let mut k = 0;
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = values[k % values.len()] % 3.0;
+                m[(i, j)] = v;
+                row_sum += v.abs();
+                k += 1;
+            }
+        }
+        m[(i, i)] = row_sum + 1.0 + (values[k % values.len()].abs() % 2.0);
+        k += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solves_diag_dominant_to_small_residual(
+        n in 1usize..12,
+        values in prop::collection::vec(-10.0f64..10.0, 200),
+        rhs in prop::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let a = diag_dominant(n, &values);
+        let b: Vector = rhs[..n].to_vec().into();
+        let lu = LuFactor::new(&a).expect("diag-dominant is nonsingular");
+        let x = lu.solve(&b).expect("dimensions match");
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-8 * (1.0 + b[i].abs()));
+        }
+    }
+
+    #[test]
+    fn det_2x2_matches_closed_form(a in -9.0f64..9.0, b in -9.0f64..9.0,
+                                   c in -9.0f64..9.0, d in -9.0f64..9.0) {
+        let m = Matrix::from_rows(&[&[a, b], &[c, d]]).expect("2x2");
+        let closed = a * d - b * c;
+        match LuFactor::new(&m) {
+            Ok(lu) => prop_assert!((lu.det() - closed).abs() < 1e-9 * (1.0 + closed.abs())),
+            Err(_) => prop_assert!(closed.abs() < 1e-6 * (1.0 + m.max_abs() * m.max_abs())),
+        }
+    }
+
+    #[test]
+    fn solve_then_multiply_round_trips(
+        n in 1usize..10,
+        values in prop::collection::vec(-10.0f64..10.0, 200),
+        xs in prop::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        // Pick x, compute b = A x, solve, recover x.
+        let a = diag_dominant(n, &values);
+        let x_true: Vector = xs[..n].to_vec().into();
+        let b = a.mul_vec(&x_true);
+        let x = LuFactor::new(&a).expect("nonsingular").solve(&b).expect("solve");
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-8 * (1.0 + x_true[i].abs()));
+        }
+    }
+}

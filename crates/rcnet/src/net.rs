@@ -1,0 +1,587 @@
+//! The RC network itself: nodes (capacitances), edges (resistances),
+//! coupling capacitors, and the validating builder.
+
+use crate::{Farads, Ohms, RcNetError, WirePath};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node (capacitance) within one [`RcNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index into [`RcNet::nodes`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an edge (resistance) within one [`RcNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Index into [`RcNet::edges`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Role of a node on the net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The unique driver pin of the net.
+    Source,
+    /// A load pin; every sink terminates one wire path.
+    Sink,
+    /// A parasitic-only internal node.
+    Internal,
+}
+
+/// A node of the RC graph: a named circuit node with its ground capacitance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcNode {
+    /// Circuit node name (e.g. `U12:A` or `net5:3`).
+    pub name: String,
+    /// Role on the net.
+    pub kind: NodeKind,
+    /// Capacitance to ground.
+    pub cap: Farads,
+}
+
+/// An edge of the RC graph: a resistance between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcEdge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// Resistance value.
+    pub res: Ohms,
+}
+
+impl RcEdge {
+    /// The endpoint opposite to `n`, or `None` when `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if self.a == n {
+            Some(self.b)
+        } else if self.b == n {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A coupling capacitor from a net node to a node of another (aggressor) net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingCap {
+    /// Victim-side node.
+    pub node: NodeId,
+    /// Name of the aggressor-net node on the far side.
+    pub aggressor: String,
+    /// Coupling capacitance.
+    pub cap: Farads,
+}
+
+/// A validated parasitic RC network with one driver and one or more sinks.
+///
+/// Construct via [`RcNetBuilder`] or [`crate::spef::parse`]. The structure is
+/// immutable after `build`, so derived data (adjacency lists, wire paths) is
+/// computed once and shared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcNet {
+    name: String,
+    nodes: Vec<RcNode>,
+    edges: Vec<RcEdge>,
+    couplings: Vec<CouplingCap>,
+    source: NodeId,
+    sinks: Vec<NodeId>,
+    /// adjacency[n] = (neighbor, edge) pairs.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    paths: Vec<WirePath>,
+}
+
+impl RcNet {
+    /// Net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[RcNode] {
+        &self.nodes
+    }
+
+    /// All resistive edges, indexable by [`EdgeId::index`].
+    pub fn edges(&self) -> &[RcEdge] {
+        &self.edges
+    }
+
+    /// All coupling capacitors to other nets.
+    pub fn couplings(&self) -> &[CouplingCap] {
+        &self.couplings
+    }
+
+    /// The driver node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The sink nodes, in insertion order.
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of resistive edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// One node by id.
+    pub fn node(&self, id: NodeId) -> &RcNode {
+        &self.nodes[id.index()]
+    }
+
+    /// One edge by id.
+    pub fn edge(&self, id: EdgeId) -> &RcEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Neighbors of `n` as `(neighbor, edge)` pairs.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Degree (number of incident resistors) of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// The wire paths from the source to every sink (paper Definition 1),
+    /// in sink order. Extracted once at build time; on non-tree nets each
+    /// path is the resistance-weighted shortest path.
+    pub fn paths(&self) -> &[WirePath] {
+        &self.paths
+    }
+
+    /// Whether the net is a tree (no resistive loops).
+    pub fn is_tree(&self) -> bool {
+        self.edges.len() + 1 == self.nodes.len()
+    }
+
+    /// Number of independent resistive loops (`|E| - |V| + 1`).
+    pub fn loop_count(&self) -> usize {
+        self.edges.len() + 1 - self.nodes.len()
+    }
+
+    /// Sum of all ground capacitances.
+    pub fn total_cap(&self) -> Farads {
+        self.nodes.iter().map(|n| n.cap).sum()
+    }
+
+    /// Sum of all coupling capacitances.
+    pub fn total_coupling_cap(&self) -> Farads {
+        self.couplings.iter().map(|c| c.cap).sum()
+    }
+
+    /// Sum of all resistances.
+    pub fn total_res(&self) -> Ohms {
+        self.edges.iter().map(|e| e.res).sum()
+    }
+
+    /// Finds a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates over `(NodeId, &RcNode)` pairs.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &RcNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Iterates over `(EdgeId, &RcEdge)` pairs.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (EdgeId, &RcEdge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+}
+
+/// Builder assembling and validating an [`RcNet`].
+///
+/// # Examples
+///
+/// ```
+/// use rcnet::{Farads, Ohms, RcNetBuilder};
+///
+/// # fn main() -> Result<(), rcnet::RcNetError> {
+/// let mut b = RcNetBuilder::new("clk_leaf");
+/// let s = b.source("BUF3:Z", Farads(0.8e-15));
+/// let t = b.sink("FF7:CK", Farads(1.2e-15));
+/// b.resistor(s, t, Ohms(42.0));
+/// let net = b.build()?;
+/// assert_eq!(net.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RcNetBuilder {
+    name: String,
+    nodes: Vec<RcNode>,
+    edges: Vec<RcEdge>,
+    couplings: Vec<CouplingCap>,
+    names: HashMap<String, NodeId>,
+}
+
+impl RcNetBuilder {
+    /// Starts a new builder for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RcNetBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, kind: NodeKind, cap: Farads) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.names.get(&name) {
+            // Re-declaring an existing node refreshes its role/cap; SPEF
+            // emits *CONN before *CAP so this upgrade path is required.
+            let node = &mut self.nodes[id.index()];
+            if kind != NodeKind::Internal {
+                node.kind = kind;
+            }
+            if cap.value() != 0.0 {
+                node.cap = cap;
+            }
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(RcNode { name: name.clone(), kind, cap });
+        self.names.insert(name, id);
+        id
+    }
+
+    /// Adds (or re-labels) the driver node.
+    pub fn source(&mut self, name: impl Into<String>, cap: Farads) -> NodeId {
+        self.add_node(name, NodeKind::Source, cap)
+    }
+
+    /// Adds (or re-labels) a sink node.
+    pub fn sink(&mut self, name: impl Into<String>, cap: Farads) -> NodeId {
+        self.add_node(name, NodeKind::Sink, cap)
+    }
+
+    /// Adds an internal parasitic node.
+    pub fn internal(&mut self, name: impl Into<String>, cap: Farads) -> NodeId {
+        self.add_node(name, NodeKind::Internal, cap)
+    }
+
+    /// Looks up an already-added node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Sets the ground capacitance of an existing node.
+    pub fn set_cap(&mut self, node: NodeId, cap: Farads) {
+        self.nodes[node.index()].cap = cap;
+    }
+
+    /// Promotes an existing node to a sink, adding `pin_cap` to its
+    /// ground capacitance (the load pin's input capacitance).
+    pub fn promote_to_sink(&mut self, node: NodeId, pin_cap: Farads) {
+        let n = &mut self.nodes[node.index()];
+        n.kind = NodeKind::Sink;
+        n.cap += pin_cap;
+    }
+
+    /// Adds a resistor between two nodes.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, res: Ohms) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(RcEdge { a, b, res });
+        id
+    }
+
+    /// Adds a coupling capacitor from `node` to an aggressor-net node.
+    pub fn coupling(&mut self, node: NodeId, aggressor: impl Into<String>, cap: Farads) {
+        self.couplings.push(CouplingCap {
+            node,
+            aggressor: aggressor.into(),
+            cap,
+        });
+    }
+
+    /// Validates and finalizes the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RcNetError::InvalidNet`] when the net has no or multiple
+    /// sources, no sinks, non-positive resistances, negative capacitances,
+    /// self-loop resistors, or is not connected.
+    pub fn build(self) -> Result<RcNet, RcNetError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(RcNetError::InvalidNet("net has no nodes".into()));
+        }
+        let sources: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| nd.kind == NodeKind::Source)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        if sources.len() != 1 {
+            return Err(RcNetError::InvalidNet(format!(
+                "net `{}` must have exactly one source, found {}",
+                self.name,
+                sources.len()
+            )));
+        }
+        let source = sources[0];
+        let sinks: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| nd.kind == NodeKind::Sink)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        if sinks.is_empty() {
+            return Err(RcNetError::InvalidNet(format!(
+                "net `{}` has no sinks",
+                self.name
+            )));
+        }
+        for (i, nd) in self.nodes.iter().enumerate() {
+            if nd.cap.value() < 0.0 {
+                return Err(RcNetError::InvalidNet(format!(
+                    "node {i} (`{}`) has negative capacitance {}",
+                    nd.name, nd.cap
+                )));
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.a == e.b {
+                return Err(RcNetError::InvalidNet(format!(
+                    "edge {i} is a self-loop on node {}",
+                    e.a
+                )));
+            }
+            if !(e.res.value() > 0.0) {
+                return Err(RcNetError::InvalidNet(format!(
+                    "edge {i} has non-positive resistance {}",
+                    e.res
+                )));
+            }
+        }
+        for c in &self.couplings {
+            if c.cap.value() < 0.0 {
+                return Err(RcNetError::InvalidNet(format!(
+                    "coupling cap at node {} is negative",
+                    c.node
+                )));
+            }
+        }
+        let mut adjacency: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adjacency[e.a.index()].push((e.b, id));
+            adjacency[e.b.index()].push((e.a, id));
+        }
+        // Connectivity from the source.
+        let mut seen = vec![false; n];
+        let mut stack = vec![source];
+        seen[source.index()] = true;
+        let mut reached = 1usize;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &adjacency[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    reached += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        if reached != n {
+            return Err(RcNetError::InvalidNet(format!(
+                "net `{}` is disconnected: only {reached} of {n} nodes reachable from the source",
+                self.name
+            )));
+        }
+        let mut net = RcNet {
+            name: self.name,
+            nodes: self.nodes,
+            edges: self.edges,
+            couplings: self.couplings,
+            source,
+            sinks,
+            adjacency,
+            paths: Vec::new(),
+        };
+        net.paths = crate::path::extract_paths(&net);
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_net() -> RcNet {
+        let mut b = RcNetBuilder::new("t");
+        let s = b.source("s", Farads(1e-15));
+        let m = b.internal("m", Farads(1e-15));
+        let k1 = b.sink("k1", Farads(2e-15));
+        let k2 = b.sink("k2", Farads(2e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(m, k2, Ohms(30.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_structure() {
+        let net = simple_net();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.edge_count(), 3);
+        assert!(net.is_tree());
+        assert_eq!(net.loop_count(), 0);
+        assert_eq!(net.sinks().len(), 2);
+        assert_eq!(net.degree(net.node_by_name("m").unwrap()), 3);
+        assert!((net.total_cap().value() - 6e-15).abs() < 1e-27);
+        assert_eq!(net.total_res(), Ohms(60.0));
+    }
+
+    #[test]
+    fn rejects_missing_source() {
+        let mut b = RcNetBuilder::new("x");
+        let a = b.internal("a", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(a, k, Ohms(1.0));
+        assert!(matches!(b.build(), Err(RcNetError::InvalidNet(_))));
+    }
+
+    #[test]
+    fn rejects_two_sources() {
+        let mut b = RcNetBuilder::new("x");
+        let s1 = b.source("s1", Farads(1e-15));
+        let s2 = b.source("s2", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s1, k, Ohms(1.0));
+        b.resistor(s2, k, Ohms(1.0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_no_sink() {
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let a = b.internal("a", Farads(1e-15));
+        b.resistor(s, a, Ohms(1.0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(1.0));
+        b.internal("island", Farads(1e-15));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_values() {
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(1.0));
+        b.resistor(k, k, Ohms(1.0));
+        assert!(b.build().is_err());
+
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(0.0));
+        assert!(b.build().is_err());
+
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(-1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(1.0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_name_merges_and_upgrades() {
+        let mut b = RcNetBuilder::new("x");
+        let a = b.internal("p", Farads(0.0));
+        let a2 = b.sink("p", Farads(2e-15));
+        assert_eq!(a, a2);
+        let s = b.source("s", Farads(1e-15));
+        b.resistor(s, a, Ohms(5.0));
+        let net = b.build().unwrap();
+        assert_eq!(net.node(a).kind, NodeKind::Sink);
+        assert_eq!(net.node(a).cap, Farads(2e-15));
+    }
+
+    #[test]
+    fn nontree_loop_count() {
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let a = b.internal("a", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, a, Ohms(1.0));
+        b.resistor(a, k, Ohms(1.0));
+        b.resistor(s, k, Ohms(1.0));
+        let net = b.build().unwrap();
+        assert!(!net.is_tree());
+        assert_eq!(net.loop_count(), 1);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let net = simple_net();
+        let e = net.edge(EdgeId(0));
+        assert_eq!(e.other(e.a), Some(e.b));
+        assert_eq!(e.other(e.b), Some(e.a));
+        assert_eq!(e.other(NodeId(99)), None);
+    }
+
+    #[test]
+    fn coupling_caps_tracked() {
+        let mut b = RcNetBuilder::new("x");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(1.0));
+        b.coupling(k, "agg:3", Farads(0.5e-15));
+        let net = b.build().unwrap();
+        assert_eq!(net.couplings().len(), 1);
+        assert_eq!(net.total_coupling_cap(), Farads(0.5e-15));
+    }
+}

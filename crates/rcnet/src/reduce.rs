@@ -1,0 +1,303 @@
+//! Parasitic network reduction.
+//!
+//! Extraction output is often heavily over-segmented: long routes appear
+//! as chains of tiny RC segments. [`merge_series`] collapses internal
+//! degree-2 nodes — the classic first step of TICER-style reduction —
+//! preserving total resistance exactly and redistributing the eliminated
+//! node's capacitance to its neighbors, which keeps the Elmore delay of
+//! every remaining node within the standard reduction error bound.
+
+use crate::{Farads, NodeKind, RcNet, RcNetBuilder, RcNetError};
+
+/// Options for [`merge_series`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceOptions {
+    /// Only merge nodes whose ground capacitance is below this bound
+    /// (`None` merges every eligible node).
+    pub max_merged_cap: Option<Farads>,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            max_merged_cap: None,
+        }
+    }
+}
+
+/// Result of a reduction pass.
+#[derive(Debug, Clone)]
+pub struct Reduced {
+    /// The reduced network.
+    pub net: RcNet,
+    /// Number of nodes eliminated.
+    pub merged: usize,
+}
+
+/// Collapses internal degree-2 nodes: `a -R1- x -R2- b` with `x` internal
+/// and uncoupled becomes `a -(R1+R2)- b`, with `C_x` split equally onto
+/// `a` and `b`.
+///
+/// Sources, sinks, coupled nodes and branch points are never eliminated,
+/// so the wire-path structure (source → sink sets) is preserved exactly.
+///
+/// # Errors
+///
+/// Propagates [`RcNetError::InvalidNet`] from rebuilding (cannot happen
+/// for a valid input net).
+pub fn merge_series(net: &RcNet, opts: ReduceOptions) -> Result<Reduced, RcNetError> {
+    let n = net.node_count();
+    let mut keep = vec![true; n];
+    let coupled: std::collections::HashSet<usize> =
+        net.couplings().iter().map(|c| c.node.index()).collect();
+
+    // Mark eligible nodes. Merging changes neighbor degrees only through
+    // the replaced edges (2 -> 1 per merge), so a single marking pass over
+    // the original topology is conservative and safe.
+    for (id, node) in net.iter_nodes() {
+        let i = id.index();
+        let eligible = node.kind == NodeKind::Internal
+            && net.degree(id) == 2
+            && !coupled.contains(&i)
+            && opts
+                .max_merged_cap
+                .map_or(true, |lim| node.cap.value() <= lim.value());
+        if eligible {
+            keep[i] = false;
+        }
+    }
+
+    // Union-find-free approach: walk chains. For every eliminated run of
+    // nodes between two kept endpoints, emit one resistor with the summed
+    // resistance and push half of each eliminated cap to each endpoint.
+    let mut extra_cap = vec![0.0f64; n];
+    let mut new_edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut edge_done = vec![false; net.edge_count()];
+
+    for (eid, e) in net.iter_edges() {
+        if edge_done[eid.index()] {
+            continue;
+        }
+        let (a, b) = (e.a.index(), e.b.index());
+        if !keep[a] && !keep[b] {
+            continue; // handled when walking from a kept endpoint
+        }
+        if keep[a] && keep[b] {
+            edge_done[eid.index()] = true;
+            new_edges.push((a, b, e.res.value()));
+            continue;
+        }
+        // Walk from the kept endpoint through the eliminated chain,
+        // accumulating the chain's resistance and capacitance; the cap is
+        // split evenly between the two kept endpoints at the end.
+        let (start, mut cur) = if keep[a] { (a, b) } else { (b, a) };
+        edge_done[eid.index()] = true;
+        let mut total_res = e.res.value();
+        let mut chain_cap = 0.0f64;
+        loop {
+            // `cur` is eliminated: degree 2, so at most one unvisited edge.
+            let id = crate::NodeId(cur as u32);
+            chain_cap += net.node(id).cap.value();
+            let mut next = None;
+            for &(nb, ne) in net.neighbors(id) {
+                if !edge_done[ne.index()] {
+                    next = Some((nb.index(), ne.index()));
+                }
+            }
+            let Some((nxt, ne)) = next else {
+                // The chain dead-ends in a stub: all of its capacitance
+                // lands on the single kept endpoint.
+                extra_cap[start] += chain_cap;
+                break;
+            };
+            edge_done[ne] = true;
+            total_res += net.edge(crate::EdgeId(ne as u32)).res.value();
+            if keep[nxt] {
+                new_edges.push((start, nxt, total_res));
+                extra_cap[start] += chain_cap / 2.0;
+                extra_cap[nxt] += chain_cap / 2.0;
+                break;
+            }
+            cur = nxt;
+        }
+    }
+
+    // Rebuild.
+    let mut b = RcNetBuilder::new(net.name());
+    let mut map = vec![None; n];
+    let mut merged = 0usize;
+    for (id, node) in net.iter_nodes() {
+        let i = id.index();
+        if !keep[i] {
+            merged += 1;
+            continue;
+        }
+        let cap = Farads(node.cap.value() + extra_cap[i]);
+        let new_id = match node.kind {
+            NodeKind::Source => b.source(node.name.clone(), cap),
+            NodeKind::Sink => b.sink(node.name.clone(), cap),
+            NodeKind::Internal => b.internal(node.name.clone(), cap),
+        };
+        map[i] = Some(new_id);
+    }
+    for (a, c, r) in new_edges {
+        let (Some(na), Some(nc)) = (map[a], map[c]) else {
+            continue;
+        };
+        b.resistor(na, nc, crate::Ohms(r));
+    }
+    for cpl in net.couplings() {
+        if let Some(nid) = map[cpl.node.index()] {
+            b.coupling(nid, cpl.aggressor.clone(), cpl.cap);
+        }
+    }
+    Ok(Reduced {
+        net: b.build()?,
+        merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ohms, RcNetBuilder};
+
+    fn chain(n_internal: usize) -> RcNet {
+        let mut b = RcNetBuilder::new("c");
+        let mut prev = b.source("s", Farads::from_ff(1.0));
+        for i in 0..n_internal {
+            let m = b.internal(format!("m{i}"), Farads::from_ff(1.0));
+            b.resistor(prev, m, Ohms(10.0));
+            prev = m;
+        }
+        let k = b.sink("k", Farads::from_ff(2.0));
+        b.resistor(prev, k, Ohms(10.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_collapses_to_two_nodes() {
+        let net = chain(5);
+        let r = merge_series(&net, ReduceOptions::default()).unwrap();
+        assert_eq!(r.merged, 5);
+        assert_eq!(r.net.node_count(), 2);
+        assert_eq!(r.net.edge_count(), 1);
+        // Total R and C preserved exactly.
+        assert!((r.net.total_res().value() - net.total_res().value()).abs() < 1e-9);
+        assert!((r.net.total_cap().value() - net.total_cap().value()).abs() < 1e-27);
+        // Path structure preserved.
+        assert_eq!(r.net.paths().len(), net.paths().len());
+    }
+
+    #[test]
+    fn branch_points_survive() {
+        let mut b = RcNetBuilder::new("t");
+        let s = b.source("s", Farads::from_ff(1.0));
+        let m1 = b.internal("m1", Farads::from_ff(1.0));
+        let j = b.internal("j", Farads::from_ff(1.0)); // branch point, degree 3
+        let m2 = b.internal("m2", Farads::from_ff(1.0));
+        let k1 = b.sink("k1", Farads::from_ff(1.0));
+        let k2 = b.sink("k2", Farads::from_ff(1.0));
+        b.resistor(s, m1, Ohms(10.0));
+        b.resistor(m1, j, Ohms(10.0));
+        b.resistor(j, m2, Ohms(10.0));
+        b.resistor(m2, k1, Ohms(10.0));
+        b.resistor(j, k2, Ohms(10.0));
+        let net = b.build().unwrap();
+
+        let r = merge_series(&net, ReduceOptions::default()).unwrap();
+        // m1 and m2 go; s, j, k1, k2 stay.
+        assert_eq!(r.merged, 2);
+        assert_eq!(r.net.node_count(), 4);
+        assert!(r.net.node_by_name("j").is_some());
+        assert_eq!(r.net.sinks().len(), 2);
+    }
+
+    #[test]
+    fn coupled_nodes_are_kept() {
+        let mut b = RcNetBuilder::new("c");
+        let s = b.source("s", Farads::from_ff(1.0));
+        let m = b.internal("m", Farads::from_ff(1.0));
+        let k = b.sink("k", Farads::from_ff(1.0));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k, Ohms(10.0));
+        b.coupling(m, "agg:1", Farads::from_ff(0.5));
+        let net = b.build().unwrap();
+        let r = merge_series(&net, ReduceOptions::default()).unwrap();
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.net.couplings().len(), 1);
+    }
+
+    #[test]
+    fn cap_bound_limits_merging() {
+        let net = chain(3);
+        let r = merge_series(
+            &net,
+            ReduceOptions {
+                max_merged_cap: Some(Farads::from_ff(0.5)),
+            },
+        )
+        .unwrap();
+        // All internal caps are 1 fF > 0.5 fF bound: nothing merges.
+        assert_eq!(r.merged, 0);
+        assert_eq!(r.net.node_count(), net.node_count());
+    }
+
+    #[test]
+    fn elmore_error_is_bounded() {
+        // Reduction redistributes caps; sink Elmore delay must stay within
+        // the half-segment error bound (well under 20% on a uniform chain).
+        let net = chain(8);
+        let r = merge_series(&net, ReduceOptions::default()).unwrap();
+        let full = elmore_of_sink(&net);
+        let red = elmore_of_sink(&r.net);
+        assert!(
+            (full - red).abs() < 0.2 * full,
+            "elmore {full} vs reduced {red}"
+        );
+    }
+
+    fn elmore_of_sink(net: &RcNet) -> f64 {
+        // Local tree-walk Elmore (avoids a dev-dependency on `elmore`).
+        let o = crate::topology::orient(net);
+        let mut down: Vec<f64> = net.nodes().iter().map(|n| n.cap.value()).collect();
+        for &node in o.order.iter().rev() {
+            if let Some((p, _)) = o.parent[node.index()] {
+                down[p.index()] += down[node.index()];
+            }
+        }
+        let sink = net.sinks()[0];
+        let (nodes, edges) = o.path_to(sink);
+        nodes[1..]
+            .iter()
+            .zip(edges)
+            .map(|(n, e)| net.edge(e).res.value() * down[n.index()])
+            .sum()
+    }
+
+    #[test]
+    fn generated_nets_round_trip_through_reduction() {
+        // Reduction must keep every generated net valid with identical
+        // source/sink naming.
+        let mut bld = RcNetBuilder::new("g");
+        let s = bld.source("s", Farads::from_ff(0.5));
+        let mut prev = s;
+        for i in 0..10 {
+            let m = bld.internal(format!("seg{i}"), Farads::from_ff(0.4));
+            bld.resistor(prev, m, Ohms(7.0));
+            prev = m;
+        }
+        let k1 = bld.sink("k1", Farads::from_ff(1.0));
+        bld.resistor(prev, k1, Ohms(7.0));
+        let k2 = bld.sink("k2", Farads::from_ff(1.0));
+        bld.resistor(s, k2, Ohms(3.0));
+        let net = bld.build().unwrap();
+
+        let r = merge_series(&net, ReduceOptions::default()).unwrap();
+        assert!(r.merged >= 9);
+        assert_eq!(r.net.sinks().len(), 2);
+        assert!(r.net.node_by_name("s").is_some());
+        assert!(r.net.node_by_name("k1").is_some());
+        assert!(r.net.node_by_name("k2").is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! SPEF (IEEE 1481) subset parser and writer.
+//!
+//! Parasitic extraction tools (the paper uses Synopsys StarRC) emit SPEF;
+//! this module ingests the subset needed for wire timing — header units,
+//! `*NAME_MAP`, and `*D_NET` sections with `*CONN`, `*CAP` (ground and
+//! coupling) and `*RES` — and can write it back out for round-tripping.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), rcnet::RcNetError> {
+//! let text = r#"
+//! *SPEF "IEEE 1481-1998"
+//! *DESIGN "demo"
+//! *DIVIDER /
+//! *DELIMITER :
+//! *T_UNIT 1 PS
+//! *C_UNIT 1 FF
+//! *R_UNIT 1 OHM
+//!
+//! *D_NET net1 3.0
+//! *CONN
+//! *I U1:Z O
+//! *I U2:A I
+//! *CAP
+//! 1 net1:1 1.5
+//! 2 U2:A 1.5
+//! *RES
+//! 1 U1:Z net1:1 12.0
+//! 2 net1:1 U2:A 8.0
+//! *END
+//! "#;
+//! let doc = rcnet::spef::parse(text)?;
+//! assert_eq!(doc.nets.len(), 1);
+//! assert_eq!(doc.nets[0].paths().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, SpefDocument, SpefHeader};
+pub use writer::write;

@@ -1,0 +1,499 @@
+//! Line-oriented SPEF subset parser.
+
+use crate::{Farads, Ohms, RcNet, RcNetBuilder, RcNetError};
+use std::collections::HashMap;
+
+/// Header fields of a SPEF document that affect interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpefHeader {
+    /// Design name from `*DESIGN`.
+    pub design: String,
+    /// Hierarchy divider character from `*DIVIDER`.
+    pub divider: char,
+    /// Pin delimiter character from `*DELIMITER`.
+    pub delimiter: char,
+    /// Multiplier converting file time values to seconds.
+    pub time_scale: f64,
+    /// Multiplier converting file capacitance values to farads.
+    pub cap_scale: f64,
+    /// Multiplier converting file resistance values to ohms.
+    pub res_scale: f64,
+}
+
+impl Default for SpefHeader {
+    fn default() -> Self {
+        SpefHeader {
+            design: String::new(),
+            divider: '/',
+            delimiter: ':',
+            time_scale: 1e-12,
+            cap_scale: 1e-15,
+            res_scale: 1.0,
+        }
+    }
+}
+
+/// A parsed SPEF document: the header plus one validated [`RcNet`] per
+/// `*D_NET` section.
+#[derive(Debug, Clone)]
+pub struct SpefDocument {
+    /// Interpreted header fields.
+    pub header: SpefHeader,
+    /// Parasitic networks in file order.
+    pub nets: Vec<RcNet>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> RcNetError {
+    RcNetError::SpefParse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn unit_scale(line_no: usize, value: &str, unit: &str, kind: char) -> Result<f64, RcNetError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| err(line_no, format!("bad unit multiplier `{value}`")))?;
+    let base = match (kind, unit.to_ascii_uppercase().as_str()) {
+        ('t', "S") => 1.0,
+        ('t', "MS") => 1e-3,
+        ('t', "US") => 1e-6,
+        ('t', "NS") => 1e-9,
+        ('t', "PS") => 1e-12,
+        ('c', "F") => 1.0,
+        ('c', "PF") => 1e-12,
+        ('c', "FF") => 1e-15,
+        ('r', "OHM") => 1.0,
+        ('r', "KOHM") => 1e3,
+        _ => return Err(err(line_no, format!("unsupported unit `{unit}`"))),
+    };
+    Ok(v * base)
+}
+
+/// Resolves `*<idx>` name-map references inside a node token. Handles the
+/// delimiter form `*12:3` (mapped name plus pin/sub-node suffix).
+fn resolve<'a>(
+    token: &'a str,
+    map: &HashMap<u64, String>,
+    delimiter: char,
+    line_no: usize,
+) -> Result<String, RcNetError> {
+    if let Some(rest) = token.strip_prefix('*') {
+        let (idx_str, suffix) = match rest.find(delimiter) {
+            Some(pos) => (&rest[..pos], &rest[pos..]),
+            None => (rest, ""),
+        };
+        let idx: u64 = idx_str
+            .parse()
+            .map_err(|_| err(line_no, format!("bad name-map reference `{token}`")))?;
+        let name = map
+            .get(&idx)
+            .ok_or_else(|| err(line_no, format!("unknown name-map index *{idx}")))?;
+        Ok(format!("{name}{suffix}"))
+    } else {
+        Ok(token.to_string())
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Section {
+    Preamble,
+    NameMap,
+    NetConn,
+    NetCap,
+    NetRes,
+}
+
+/// Parses a SPEF document from text.
+///
+/// Supports the header, `*NAME_MAP`, and `*D_NET` sections with `*CONN`,
+/// `*CAP` (ground and coupling) and `*RES`. `//` comments and blank lines
+/// are skipped anywhere.
+///
+/// # Errors
+///
+/// Returns [`RcNetError::SpefParse`] with a line number on malformed input,
+/// and [`RcNetError::InvalidNet`] when a `*D_NET` section fails RC-net
+/// validation (e.g. no driver connection).
+pub fn parse(text: &str) -> Result<SpefDocument, RcNetError> {
+    let mut header = SpefHeader::default();
+    let mut name_map: HashMap<u64, String> = HashMap::new();
+    let mut nets = Vec::new();
+    let mut section = Section::Preamble;
+    let mut builder: Option<RcNetBuilder> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find("//") {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let keyword = tokens[0];
+
+        match keyword {
+            "*SPEF" | "*DATE" | "*VENDOR" | "*PROGRAM" | "*VERSION" | "*DESIGN_FLOW"
+            | "*BUS_DELIMITER" | "*L_UNIT" => continue,
+            "*DESIGN" => {
+                header.design = tokens
+                    .get(1)
+                    .map(|s| s.trim_matches('"').to_string())
+                    .unwrap_or_default();
+                continue;
+            }
+            "*DIVIDER" => {
+                header.divider = tokens
+                    .get(1)
+                    .and_then(|s| s.chars().next())
+                    .ok_or_else(|| err(line_no, "missing divider"))?;
+                continue;
+            }
+            "*DELIMITER" => {
+                header.delimiter = tokens
+                    .get(1)
+                    .and_then(|s| s.chars().next())
+                    .ok_or_else(|| err(line_no, "missing delimiter"))?;
+                continue;
+            }
+            "*T_UNIT" => {
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "malformed *T_UNIT"));
+                }
+                header.time_scale = unit_scale(line_no, tokens[1], tokens[2], 't')?;
+                continue;
+            }
+            "*C_UNIT" => {
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "malformed *C_UNIT"));
+                }
+                header.cap_scale = unit_scale(line_no, tokens[1], tokens[2], 'c')?;
+                continue;
+            }
+            "*R_UNIT" => {
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "malformed *R_UNIT"));
+                }
+                header.res_scale = unit_scale(line_no, tokens[1], tokens[2], 'r')?;
+                continue;
+            }
+            "*NAME_MAP" => {
+                section = Section::NameMap;
+                continue;
+            }
+            "*D_NET" => {
+                if builder.is_some() {
+                    return Err(err(line_no, "*D_NET before previous *END"));
+                }
+                if tokens.len() < 2 {
+                    return Err(err(line_no, "malformed *D_NET"));
+                }
+                let name = resolve(tokens[1], &name_map, header.delimiter, line_no)?;
+                builder = Some(RcNetBuilder::new(name));
+                section = Section::NetConn;
+                continue;
+            }
+            "*CONN" => {
+                section = Section::NetConn;
+                continue;
+            }
+            "*CAP" => {
+                section = Section::NetCap;
+                continue;
+            }
+            "*RES" => {
+                section = Section::NetRes;
+                continue;
+            }
+            "*END" => {
+                let b = builder
+                    .take()
+                    .ok_or_else(|| err(line_no, "*END outside *D_NET"))?;
+                nets.push(b.build()?);
+                section = Section::Preamble;
+                continue;
+            }
+            _ => {}
+        }
+
+        match section {
+            Section::NameMap => {
+                // "*<idx> <name>"
+                let idx_str = keyword
+                    .strip_prefix('*')
+                    .ok_or_else(|| err(line_no, "name-map entry must start with `*`"))?;
+                let idx: u64 = idx_str
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad name-map index `{keyword}`")))?;
+                let name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "name-map entry missing name"))?;
+                name_map.insert(idx, (*name).to_string());
+            }
+            Section::NetConn => {
+                // "*I <pin> <dir>" or "*P <port> <dir>"
+                if keyword != "*I" && keyword != "*P" {
+                    return Err(err(line_no, format!("unexpected token `{keyword}` in *CONN")));
+                }
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "malformed connection entry"));
+                }
+                let pin = resolve(tokens[1], &name_map, header.delimiter, line_no)?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "connection outside *D_NET"))?;
+                match tokens[2] {
+                    // Direction is the pin's own direction: a cell output
+                    // drives the net, a cell input loads it.
+                    "O" => {
+                        b.source(pin, Farads(0.0));
+                    }
+                    "I" => {
+                        b.sink(pin, Farads(0.0));
+                    }
+                    "B" => {
+                        // Bidirectional: treat as a sink for timing purposes.
+                        b.sink(pin, Farads(0.0));
+                    }
+                    d => return Err(err(line_no, format!("unknown pin direction `{d}`"))),
+                }
+            }
+            Section::NetCap => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "*CAP entry outside *D_NET"))?;
+                match tokens.len() {
+                    // "<id> <node> <cap>": ground capacitance
+                    3 => {
+                        let node = resolve(tokens[1], &name_map, header.delimiter, line_no)?;
+                        let cap: f64 = tokens[2]
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad capacitance `{}`", tokens[2])))?;
+                        let id = b
+                            .node_by_name(&node)
+                            .unwrap_or_else(|| b.internal(node, Farads(0.0)));
+                        b.set_cap(id, Farads(cap * header.cap_scale));
+                    }
+                    // "<id> <node> <other_node> <cap>": coupling capacitance
+                    4 => {
+                        let node = resolve(tokens[1], &name_map, header.delimiter, line_no)?;
+                        let other = resolve(tokens[2], &name_map, header.delimiter, line_no)?;
+                        let cap: f64 = tokens[3]
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad capacitance `{}`", tokens[3])))?;
+                        let id = b
+                            .node_by_name(&node)
+                            .unwrap_or_else(|| b.internal(node, Farads(0.0)));
+                        b.coupling(id, other, Farads(cap * header.cap_scale));
+                    }
+                    _ => return Err(err(line_no, "malformed *CAP entry")),
+                }
+            }
+            Section::NetRes => {
+                if tokens.len() != 4 {
+                    return Err(err(line_no, "malformed *RES entry"));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "*RES entry outside *D_NET"))?;
+                let n1 = resolve(tokens[1], &name_map, header.delimiter, line_no)?;
+                let n2 = resolve(tokens[2], &name_map, header.delimiter, line_no)?;
+                let res: f64 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad resistance `{}`", tokens[3])))?;
+                let a = b
+                    .node_by_name(&n1)
+                    .unwrap_or_else(|| b.internal(n1, Farads(0.0)));
+                let bb = b
+                    .node_by_name(&n2)
+                    .unwrap_or_else(|| b.internal(n2, Farads(0.0)));
+                b.resistor(a, bb, Ohms(res * header.res_scale));
+            }
+            Section::Preamble => {
+                return Err(err(line_no, format!("unexpected token `{keyword}`")));
+            }
+        }
+    }
+    if builder.is_some() {
+        return Err(err(text.lines().count(), "unterminated *D_NET (missing *END)"));
+    }
+    Ok(SpefDocument { header, nets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    const SIMPLE: &str = r#"
+*SPEF "IEEE 1481-1998"
+*DESIGN "demo"
+*DATE "today"
+*VENDOR "oss"
+*PROGRAM "netgen"
+*VERSION "1.0"
+*DIVIDER /
+*DELIMITER :
+*T_UNIT 1 NS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+
+*NAME_MAP
+*1 net42
+*2 U7
+*3 U9
+
+*D_NET *1 3.0
+*CONN
+*I *2:Z O
+*I *3:A I
+*CAP
+1 *1:1 1.5     // internal node cap
+2 *3:A 1.5
+3 *1:1 agg:4 0.25
+*RES
+1 *2:Z *1:1 12.0
+2 *1:1 *3:A 8.0
+*END
+"#;
+
+    #[test]
+    fn parses_header_units() {
+        let doc = parse(SIMPLE).unwrap();
+        assert_eq!(doc.header.design, "demo");
+        assert_eq!(doc.header.time_scale, 1e-9);
+        assert_eq!(doc.header.cap_scale, 1e-15);
+        assert_eq!(doc.header.res_scale, 1.0);
+    }
+
+    #[test]
+    fn parses_net_structure() {
+        let doc = parse(SIMPLE).unwrap();
+        assert_eq!(doc.nets.len(), 1);
+        let net = &doc.nets[0];
+        assert_eq!(net.name(), "net42");
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.node(net.source()).name, "U7:Z");
+        assert_eq!(net.node(net.source()).kind, NodeKind::Source);
+        assert_eq!(net.sinks().len(), 1);
+        assert_eq!(net.couplings().len(), 1);
+        assert_eq!(net.couplings()[0].aggressor, "agg:4");
+        assert!((net.couplings()[0].cap.femto_farads() - 0.25).abs() < 1e-9);
+        let internal = net.node_by_name("net42:1").unwrap();
+        assert!((net.node(internal).cap.femto_farads() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_map_is_optional() {
+        let text = r#"
+*SPEF "IEEE 1481-1998"
+*DELIMITER :
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET plain 1.0
+*CONN
+*I d:Z O
+*I l:A I
+*CAP
+1 l:A 1.0
+*RES
+1 d:Z l:A 5.0
+*END
+"#;
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.nets[0].name(), "plain");
+        assert_eq!(doc.nets[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_map_index() {
+        let text = "*DELIMITER :\n*D_NET *9 1.0\n*END\n";
+        let e = parse(text).unwrap_err();
+        assert!(matches!(e, RcNetError::SpefParse { .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_net() {
+        let text = "*D_NET n 1.0\n*CONN\n*I a:Z O\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_direction() {
+        let text = "*D_NET n 1.0\n*CONN\n*I a:Z X\n*END\n";
+        let e = parse(text).unwrap_err();
+        match e {
+            RcNetError::SpefParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn net_without_driver_fails_validation() {
+        let text = r#"
+*D_NET n 1.0
+*CONN
+*I l:A I
+*CAP
+1 l:A 1.0
+*RES
+1 l:A n:1 5.0
+*END
+"#;
+        // n:1 becomes an internal node; the net has no source.
+        assert!(matches!(parse(text), Err(RcNetError::InvalidNet(_))));
+    }
+
+    #[test]
+    fn kohm_and_pf_units_scale() {
+        let text = r#"
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+*D_NET n 1.0
+*CONN
+*I d:Z O
+*I l:A I
+*CAP
+1 l:A 0.001
+*RES
+1 d:Z l:A 0.01
+*END
+"#;
+        let doc = parse(text).unwrap();
+        let net = &doc.nets[0];
+        assert!((net.total_cap().value() - 1e-15).abs() < 1e-27);
+        assert!((net.total_res().value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_nets_parse_in_order() {
+        let text = r#"
+*D_NET a 1.0
+*CONN
+*I d1:Z O
+*I l1:A I
+*CAP
+1 l1:A 1.0
+*RES
+1 d1:Z l1:A 5.0
+*END
+*D_NET b 1.0
+*CONN
+*I d2:Z O
+*I l2:A I
+*CAP
+1 l2:A 1.0
+*RES
+1 d2:Z l2:A 5.0
+*END
+"#;
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.nets.len(), 2);
+        assert_eq!(doc.nets[0].name(), "a");
+        assert_eq!(doc.nets[1].name(), "b");
+    }
+}

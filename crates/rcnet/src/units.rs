@@ -1,0 +1,188 @@
+//! Unit newtypes keeping resistances, capacitances, times and voltages
+//! statically distinct (values are stored in SI units).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal, $pretty:ident, $scale:expr, $pretty_suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Raw SI value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Larger of the two values.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            #[doc = concat!("Value expressed in ", $pretty_suffix, ".")]
+            pub fn $pretty(self) -> f64 {
+                self.0 / $scale
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6e} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Resistance in ohms.
+    Ohms, "ohm", kilo_ohms, 1e3, "kilo-ohms"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads, "F", femto_farads, 1e-15, "femtofarads"
+);
+unit!(
+    /// Time in seconds.
+    Seconds, "s", pico_seconds, 1e-12, "picoseconds"
+);
+unit!(
+    /// Voltage in volts.
+    Volts, "V", milli_volts, 1e-3, "millivolts"
+);
+
+impl Seconds {
+    /// Constructs a time from picoseconds.
+    pub fn from_ps(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from femtofarads.
+    pub fn from_ff(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+}
+
+/// `R * C` is a time constant.
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+/// `C * R` is a time constant.
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Ohms(1000.0) * Farads(1e-12);
+        assert!((tau.value() - 1e-9).abs() < 1e-21);
+        assert!((tau.pico_seconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let a = Ohms(10.0) + Ohms(5.0) - Ohms(3.0);
+        assert_eq!(a, Ohms(12.0));
+        assert_eq!(a * 2.0, Ohms(24.0));
+        assert_eq!(a / 4.0, Ohms(3.0));
+        assert_eq!(Ohms(10.0) / Ohms(5.0), 2.0);
+        assert_eq!(-Ohms(1.0), Ohms(-1.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((Seconds::from_ps(2.0).value() - 2e-12).abs() < 1e-24);
+        assert!((Farads::from_ff(3.0).value() - 3e-15).abs() < 1e-27);
+        assert!((Farads(5e-15).femto_farads() - 5.0).abs() < 1e-12);
+        assert!((Volts(0.9).milli_volts() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_and_compare() {
+        let total: Farads = [Farads(1.0), Farads(2.5)].into_iter().sum();
+        assert_eq!(total, Farads(3.5));
+        assert!(Ohms(2.0) > Ohms(1.0));
+        assert_eq!(Ohms(-2.0).abs(), Ohms(2.0));
+        assert_eq!(Ohms(1.0).max(Ohms(4.0)), Ohms(4.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert!(format!("{}", Ohms(1.0)).contains("ohm"));
+        assert!(format!("{}", Seconds(1.0)).ends_with(" s"));
+    }
+}

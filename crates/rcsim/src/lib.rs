@@ -1,0 +1,96 @@
+//! Golden wire-timing reference: a transient RC circuit simulator.
+//!
+//! The paper labels its training data with Synopsys PrimeTime in SI mode.
+//! No open tool reproduces sign-off calibration, but the quantity being
+//! labelled — the slew and delay of each sink's voltage waveform when the
+//! driver switches, including crosstalk from coupled aggressors — is
+//! exactly what a circuit-level transient simulation of the parasitic
+//! network computes. This crate therefore *is* the reproduction's golden
+//! timer:
+//!
+//! * [`mna`] — assembles the nodal `C dv/dt + G v = b(t)` system with the
+//!   driver modelled as an ideal ramp behind a Thevenin drive resistance;
+//! * [`transient`] — A-stable trapezoidal integration, factorizing the
+//!   constant iteration matrix once per net;
+//! * [`waveform`] — threshold-crossing measurement (50 % delay, 10–90 %
+//!   slew) robust to the non-monotonicity crosstalk causes;
+//! * [`si`] — aggressor switching injected through coupling capacitors;
+//! * [`golden`] — the [`golden::GoldenTimer`] front end producing per-path
+//!   slew/delay labels.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcnet::{Farads, Ohms, RcNetBuilder, Seconds};
+//! use rcsim::golden::{GoldenTimer, SiMode};
+//!
+//! # fn main() -> Result<(), rcsim::SimError> {
+//! let mut b = RcNetBuilder::new("n");
+//! let s = b.source("d:Z", Farads(1e-15));
+//! let k = b.sink("l:A", Farads(20e-15));
+//! b.resistor(s, k, Ohms(200.0));
+//! let net = b.build().map_err(rcsim::SimError::from)?;
+//! let timer = GoldenTimer::default();
+//! let timing = timer.time_net(&net, Seconds::from_ps(20.0), SiMode::Off)?;
+//! assert_eq!(timing.len(), 1);
+//! assert!(timing[0].delay.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod golden;
+pub mod mna;
+pub mod si;
+pub mod transient;
+pub mod waveform;
+
+pub use golden::{Edge, GoldenTimer, PathTiming, SiMode};
+pub use waveform::Waveform;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The system matrix could not be factorized.
+    Numeric(String),
+    /// The underlying net was rejected.
+    Net(String),
+    /// The simulation never settled within the maximum horizon
+    /// (pathological parameters such as a zero-capacitance floating mesh).
+    NotSettled {
+        /// Name of the net being simulated.
+        net: String,
+    },
+    /// Invalid simulation parameter (message explains which).
+    BadParameter(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Numeric(m) => write!(f, "numeric failure: {m}"),
+            SimError::Net(m) => write!(f, "net error: {m}"),
+            SimError::NotSettled { net } => {
+                write!(f, "simulation of net `{net}` did not settle")
+            }
+            SimError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<numeric::NumericError> for SimError {
+    fn from(e: numeric::NumericError) -> Self {
+        SimError::Numeric(e.to_string())
+    }
+}
+
+impl From<rcnet::RcNetError> for SimError {
+    fn from(e: rcnet::RcNetError) -> Self {
+        SimError::Net(e.to_string())
+    }
+}

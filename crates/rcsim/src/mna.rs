@@ -1,0 +1,127 @@
+//! Modified nodal analysis assembly for one net.
+//!
+//! All net nodes (including the driver pin) are unknowns; the ideal input
+//! ramp `Vin(t)` reaches the driver pin through a Thevenin drive
+//! resistance, contributing `1/R_drv` to the pin's diagonal and a
+//! `Vin(t)/R_drv` source term. Coupling capacitors add to the victim
+//! diagonal of `C` and inject `Cc * dV_agg/dt` on the right-hand side
+//! (handled by [`crate::si`]).
+
+use crate::SimError;
+use numeric::Matrix;
+use rcnet::{Ohms, RcNet};
+
+/// The assembled `C dv/dt + G v = b(t)` system of a net.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// Diagonal of the capacitance matrix (ground + coupling), per node.
+    pub cap_diag: Vec<f64>,
+    /// Dense conductance matrix including the drive conductance.
+    pub conductance: Matrix,
+    /// Index of the driver pin node.
+    pub source_index: usize,
+    /// Drive conductance `1/R_drv` (multiplies `Vin(t)` in the RHS).
+    pub drive_conductance: f64,
+}
+
+impl MnaSystem {
+    /// Assembles the system for `net` with the given drive resistance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] when `r_drive` is not positive.
+    pub fn new(net: &RcNet, r_drive: Ohms) -> Result<Self, SimError> {
+        if !(r_drive.value() > 0.0) {
+            return Err(SimError::BadParameter(format!(
+                "drive resistance must be positive, got {r_drive}"
+            )));
+        }
+        let n = net.node_count();
+        let mut conductance = Matrix::zeros(n, n);
+        for (_, e) in net.iter_edges() {
+            let g = 1.0 / e.res.value();
+            let (a, b) = (e.a.index(), e.b.index());
+            conductance[(a, a)] += g;
+            conductance[(b, b)] += g;
+            conductance[(a, b)] -= g;
+            conductance[(b, a)] -= g;
+        }
+        let source_index = net.source().index();
+        let g_drv = 1.0 / r_drive.value();
+        conductance[(source_index, source_index)] += g_drv;
+
+        let mut cap_diag = vec![0.0; n];
+        for (id, node) in net.iter_nodes() {
+            cap_diag[id.index()] = node.cap.value();
+        }
+        for c in net.couplings() {
+            cap_diag[c.node.index()] += c.cap.value();
+        }
+        Ok(MnaSystem {
+            cap_diag,
+            conductance,
+            source_index,
+            drive_conductance: g_drv,
+        })
+    }
+
+    /// Number of unknown node voltages.
+    pub fn dim(&self) -> usize {
+        self.cap_diag.len()
+    }
+
+    /// A conservative dominant time constant estimate used to size the
+    /// simulation horizon: `(R_drv + R_total) * C_total`.
+    pub fn tau_estimate(&self, net: &RcNet) -> f64 {
+        let c_total: f64 = self.cap_diag.iter().sum();
+        let r_total = net.total_res().value() + 1.0 / self.drive_conductance;
+        (r_total * c_total).max(1e-15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, RcNetBuilder};
+
+    fn net() -> RcNet {
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(2e-15));
+        b.resistor(s, k, Ohms(100.0));
+        b.coupling(k, "agg", Farads(0.5e-15));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn assembles_conductance_and_caps() {
+        let net = net();
+        let sys = MnaSystem::new(&net, Ohms(50.0)).unwrap();
+        assert_eq!(sys.dim(), 2);
+        let s = net.source().index();
+        let k = 1 - s;
+        // G[s][s] = 1/100 + 1/50, G[k][k] = 1/100, off-diagonals -1/100.
+        assert!((sys.conductance[(s, s)] - 0.03).abs() < 1e-12);
+        assert!((sys.conductance[(k, k)] - 0.01).abs() < 1e-12);
+        assert!((sys.conductance[(s, k)] + 0.01).abs() < 1e-12);
+        // Coupling cap lumped onto the sink diagonal.
+        assert!((sys.cap_diag[k] - 2.5e-15).abs() < 1e-27);
+        assert!((sys.cap_diag[s] - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn rejects_non_positive_drive() {
+        let net = net();
+        assert!(MnaSystem::new(&net, Ohms(0.0)).is_err());
+        assert!(MnaSystem::new(&net, Ohms(-5.0)).is_err());
+    }
+
+    #[test]
+    fn tau_estimate_positive_and_scales() {
+        let net = net();
+        let sys = MnaSystem::new(&net, Ohms(50.0)).unwrap();
+        let tau = sys.tau_estimate(&net);
+        // (100 + 50) * 3.5fF = 525 fs.
+        assert!((tau - 150.0 * 3.5e-15).abs() < 1e-24);
+    }
+}

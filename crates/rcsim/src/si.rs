@@ -1,0 +1,87 @@
+//! Aggressor switching model for SI (crosstalk) analysis.
+//!
+//! Coupling capacitors connect the victim net to aggressor nets. When an
+//! aggressor switches, the current `Cc * dV_agg/dt` is injected into the
+//! victim node; an aggressor switching opposite to the victim slows the
+//! victim edge (delta delay), matching the effect PrimeTime SI layers on
+//! top of base delays.
+
+/// A linear-ramp aggressor waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggressor {
+    /// Full 0→100 % transition time in seconds.
+    pub ramp: f64,
+    /// Ramp start time in seconds.
+    pub start: f64,
+    /// Supply voltage swing in volts.
+    pub vdd: f64,
+    /// `true` for a rising aggressor, `false` for falling (the worst case
+    /// against a rising victim).
+    pub rising: bool,
+}
+
+impl Aggressor {
+    /// Worst-case aggressor against a rising victim: a falling edge with
+    /// the given ramp, time-aligned with the victim's switching window.
+    pub fn worst_case(ramp: f64, vdd: f64) -> Self {
+        Aggressor {
+            ramp,
+            start: 0.0,
+            vdd,
+            rising: false,
+        }
+    }
+
+    /// Aggressor voltage at time `t`.
+    pub fn voltage(&self, t: f64) -> f64 {
+        let frac = ((t - self.start) / self.ramp).clamp(0.0, 1.0);
+        if self.rising {
+            self.vdd * frac
+        } else {
+            self.vdd * (1.0 - frac)
+        }
+    }
+
+    /// Aggressor voltage slope `dV/dt` at time `t` (zero outside the ramp).
+    pub fn dv_dt(&self, t: f64) -> f64 {
+        if t < self.start || t > self.start + self.ramp {
+            return 0.0;
+        }
+        let slope = self.vdd / self.ramp;
+        if self.rising {
+            slope
+        } else {
+            -slope
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_ramp_voltage_and_slope() {
+        let a = Aggressor::worst_case(10e-12, 1.0);
+        assert_eq!(a.voltage(-1e-12), 1.0);
+        assert!((a.voltage(5e-12) - 0.5).abs() < 1e-12);
+        assert_eq!(a.voltage(20e-12), 0.0);
+        assert!((a.dv_dt(5e-12) + 1e11).abs() < 1.0);
+        assert_eq!(a.dv_dt(20e-12 + 1e-15), 0.0);
+    }
+
+    #[test]
+    fn rising_ramp() {
+        let a = Aggressor {
+            ramp: 4e-12,
+            start: 2e-12,
+            vdd: 0.8,
+            rising: true,
+        };
+        assert_eq!(a.voltage(0.0), 0.0);
+        assert!((a.voltage(4e-12) - 0.4).abs() < 1e-12);
+        assert_eq!(a.voltage(10e-12), 0.8);
+        assert!(a.dv_dt(3e-12) > 0.0);
+        assert_eq!(a.dv_dt(0.0), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Trapezoidal transient integration of the MNA system.
+//!
+//! The iteration matrix `A = C/h + G/2` is constant under a fixed step, so
+//! it is LU-factorized once per run and reused for every timestep:
+//!
+//! ```text
+//! (C/h + G/2) v_{n+1} = (C/h - G/2) v_n + (b_n + b_{n+1}) / 2
+//! ```
+
+use crate::mna::MnaSystem;
+use crate::si::Aggressor;
+use crate::waveform::Waveform;
+use crate::SimError;
+use numeric::{LuFactor, Vector};
+use rcnet::{RcNet, Seconds};
+
+/// The ideal input ramp presented to the driver's Thevenin source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampInput {
+    /// Supply swing in volts.
+    pub vdd: f64,
+    /// Full 0→100 % transition time in seconds.
+    pub ramp: f64,
+    /// `true` for a 0→vdd ramp, `false` for vdd→0.
+    pub rising: bool,
+}
+
+impl RampInput {
+    /// A rising ramp.
+    pub fn rising(vdd: f64, ramp: f64) -> Self {
+        RampInput { vdd, ramp, rising: true }
+    }
+
+    /// A falling ramp.
+    pub fn falling(vdd: f64, ramp: f64) -> Self {
+        RampInput { vdd, ramp, rising: false }
+    }
+
+    /// Input voltage at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        let frac = (t / self.ramp).clamp(0.0, 1.0);
+        if self.rising {
+            self.vdd * frac
+        } else {
+            self.vdd * (1.0 - frac)
+        }
+    }
+
+    /// The node voltage the net rests at before the ramp starts.
+    pub fn initial_voltage(&self) -> f64 {
+        if self.rising {
+            0.0
+        } else {
+            self.vdd
+        }
+    }
+
+    /// Time at which the ideal input crosses 50 %.
+    pub fn t50(&self) -> Seconds {
+        Seconds(0.5 * self.ramp)
+    }
+}
+
+/// Result of one transient run: per-node sampled waveforms.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// One waveform per net node, indexed by `NodeId::index()`.
+    pub waveforms: Vec<Waveform>,
+    /// The step size used.
+    pub dt: Seconds,
+}
+
+/// Integrates the system over `[0, horizon]` with `steps` fixed steps.
+///
+/// `aggressors` couples every coupling capacitor of the net to the given
+/// aggressor waveform (pass `None` for base, noise-free analysis).
+///
+/// # Errors
+///
+/// Returns [`SimError::Numeric`] when the iteration matrix is singular
+/// (cannot happen on a validated net with a positive drive resistance) and
+/// [`SimError::BadParameter`] for a non-positive horizon or zero steps.
+pub fn simulate(
+    sys: &MnaSystem,
+    net: &RcNet,
+    input: &RampInput,
+    aggressor: Option<&Aggressor>,
+    horizon: f64,
+    steps: usize,
+) -> Result<TransientResult, SimError> {
+    if !(horizon > 0.0) || steps == 0 {
+        return Err(SimError::BadParameter(format!(
+            "horizon {horizon} / steps {steps} must be positive"
+        )));
+    }
+    let n = sys.dim();
+    let h = horizon / steps as f64;
+
+    // A = C/h + G/2 — factorized once.
+    let mut a = sys.conductance.scale(0.5);
+    for i in 0..n {
+        a[(i, i)] += sys.cap_diag[i] / h;
+    }
+    let lu = LuFactor::new(&a)?;
+
+    // Right-hand side b(t): drive current + aggressor injections.
+    let rhs_at = |t: f64| -> Vector {
+        let mut b = Vector::zeros(n);
+        b[sys.source_index] += sys.drive_conductance * input.at(t);
+        if let Some(agg) = aggressor {
+            let slope = agg.dv_dt(t);
+            if slope != 0.0 {
+                for c in net.couplings() {
+                    b[c.node.index()] += c.cap.value() * slope;
+                }
+            }
+        }
+        b
+    };
+
+    let mut v = Vector::from(vec![input.initial_voltage(); n]);
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
+    for (i, s) in samples.iter_mut().enumerate() {
+        s.push(v[i]);
+    }
+    let mut b_prev = rhs_at(0.0);
+    for step in 1..=steps {
+        let t = h * step as f64;
+        let b_next = rhs_at(t);
+        // rhs = (C/h) v - (G v)/2 + (b_prev + b_next)/2
+        let gv = sys.conductance.mul_vec(&v);
+        let mut rhs = Vector::zeros(n);
+        for i in 0..n {
+            rhs[i] = sys.cap_diag[i] / h * v[i] - 0.5 * gv[i] + 0.5 * (b_prev[i] + b_next[i]);
+        }
+        v = lu.solve(&rhs)?;
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.push(v[i]);
+        }
+        b_prev = b_next;
+    }
+
+    let dt = Seconds(h);
+    let waveforms = samples
+        .into_iter()
+        .map(|vals| Waveform::new(Seconds(0.0), dt, vals))
+        .collect();
+    Ok(TransientResult { waveforms, dt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    fn single_stage(r: f64, c: f64) -> RcNet {
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("s", Farads(0.0));
+        let k = b.sink("k", Farads(c));
+        b.resistor(s, k, Ohms(r));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn settles_to_vdd() {
+        let net = single_stage(100.0, 10e-15);
+        let sys = MnaSystem::new(&net, Ohms(50.0)).unwrap();
+        let input = RampInput::rising(1.0, 5e-12);
+        let tau = sys.tau_estimate(&net);
+        let res = simulate(&sys, &net, &input, None, input.ramp + 20.0 * tau, 2000).unwrap();
+        for wf in &res.waveforms {
+            assert!((wf.final_value().value() - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matches_analytic_rc_exponential() {
+        // Step through Rdrv into C with no net resistance beyond a tiny one:
+        // V(t) ~ 1 - exp(-t/RC) once the (fast) ramp is over.
+        let net = single_stage(1.0, 100e-15);
+        let sys = MnaSystem::new(&net, Ohms(1000.0)).unwrap();
+        let input = RampInput::rising(1.0, 1e-15); // ~step
+        let tau = 1001.0 * 100e-15;
+        let res = simulate(&sys, &net, &input, None, 10.0 * tau, 8000).unwrap();
+        let k = net.node_by_name("k").unwrap();
+        let wf = &res.waveforms[k.index()];
+        // Compare at t = tau: expect 1 - e^-1.
+        let idx = (tau / res.dt.value()).round() as usize;
+        let expected = 1.0 - (-1.0_f64).exp();
+        assert!(
+            (wf.values()[idx] - expected).abs() < 5e-3,
+            "got {} want {expected}",
+            wf.values()[idx]
+        );
+    }
+
+    #[test]
+    fn falling_aggressor_slows_victim() {
+        let mut b = RcNetBuilder::new("v");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(5e-15));
+        b.resistor(s, k, Ohms(500.0));
+        b.coupling(k, "agg:1", Farads(10e-15));
+        let net = b.build().unwrap();
+        let sys = MnaSystem::new(&net, Ohms(100.0)).unwrap();
+        let input = RampInput::rising(1.0, 10e-12);
+        let tau = sys.tau_estimate(&net);
+        let horizon = input.ramp + 25.0 * tau;
+
+        let base = simulate(&sys, &net, &input, None, horizon, 4000).unwrap();
+        let agg = crate::si::Aggressor::worst_case(10e-12, 1.0);
+        let noisy = simulate(&sys, &net, &input, Some(&agg), horizon, 4000).unwrap();
+
+        let k_i = net.node_by_name("k").unwrap().index();
+        let t_base = base.waveforms[k_i].t50(1.0).unwrap();
+        let t_noisy = noisy.waveforms[k_i].t50(1.0).unwrap();
+        assert!(
+            t_noisy > t_base,
+            "aggressor must add delay: base {t_base:?} noisy {t_noisy:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let net = single_stage(10.0, 1e-15);
+        let sys = MnaSystem::new(&net, Ohms(10.0)).unwrap();
+        let input = RampInput::rising(1.0, 1e-12);
+        assert!(simulate(&sys, &net, &input, None, 0.0, 100).is_err());
+        assert!(simulate(&sys, &net, &input, None, 1e-9, 0).is_err());
+    }
+
+    #[test]
+    fn ramp_input_shape() {
+        let r = RampInput::rising(0.8, 10e-12);
+        assert_eq!(r.at(-1e-12), 0.0);
+        assert!((r.at(5e-12) - 0.4).abs() < 1e-12);
+        assert_eq!(r.at(20e-12), 0.8);
+        assert_eq!(r.t50(), Seconds(5e-12));
+        assert_eq!(r.initial_voltage(), 0.0);
+        let f = RampInput::falling(0.8, 10e-12);
+        assert_eq!(f.at(-1e-12), 0.8);
+        assert!((f.at(5e-12) - 0.4).abs() < 1e-12);
+        assert_eq!(f.at(20e-12), 0.0);
+        assert_eq!(f.initial_voltage(), 0.8);
+    }
+
+    #[test]
+    fn falling_transition_mirrors_rising_by_linearity() {
+        // For a linear RC network, v_fall(t) = vdd - v_rise(t) exactly.
+        let net = single_stage(200.0, 20e-15);
+        let sys = MnaSystem::new(&net, Ohms(100.0)).unwrap();
+        let tau = sys.tau_estimate(&net);
+        let horizon = 10e-12 + 20.0 * tau;
+        let rise = simulate(&sys, &net, &RampInput::rising(1.0, 10e-12), None, horizon, 3000)
+            .unwrap();
+        let fall = simulate(&sys, &net, &RampInput::falling(1.0, 10e-12), None, horizon, 3000)
+            .unwrap();
+        let k = net.node_by_name("k").unwrap().index();
+        for (r, f) in rise.waveforms[k].values().iter().zip(fall.waveforms[k].values()) {
+            assert!((r + f - 1.0).abs() < 1e-9, "superposition violated: {r} + {f}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Sampled voltage waveforms and threshold-crossing measurement.
+
+use rcnet::{Seconds, Volts};
+
+/// A uniformly sampled voltage waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t0: f64,
+    dt: f64,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform starting at `t0` with sample spacing `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn new(t0: Seconds, dt: Seconds, values: Vec<f64>) -> Self {
+        assert!(dt.value() > 0.0, "sample spacing must be positive");
+        Waveform {
+            t0: t0.value(),
+            dt: dt.value(),
+            values,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Time of sample `i`.
+    pub fn time_at(&self, i: usize) -> Seconds {
+        Seconds(self.t0 + self.dt * i as f64)
+    }
+
+    /// Final sampled value, or 0 when empty.
+    pub fn final_value(&self) -> Volts {
+        Volts(self.values.last().copied().unwrap_or(0.0))
+    }
+
+    /// The *last* upward crossing of `threshold`: the time after which the
+    /// waveform stays at or above the threshold, linearly interpolated.
+    ///
+    /// Crosstalk can make waveforms non-monotonic; taking the final
+    /// crossing matches how sign-off timers measure delay under noise
+    /// (the latest time the signal is still below threshold bounds the
+    /// arrival). Returns `None` when the waveform never settles above the
+    /// threshold, and the start time when it never dips below it.
+    pub fn rising_crossing(&self, threshold: f64) -> Option<Seconds> {
+        if self.values.is_empty() || *self.values.last().expect("non-empty") < threshold {
+            return None;
+        }
+        // Find the last index strictly below the threshold.
+        let below = self.values.iter().rposition(|&v| v < threshold);
+        match below {
+            None => Some(Seconds(self.t0)),
+            Some(i) => {
+                if i + 1 >= self.values.len() {
+                    return None;
+                }
+                let (v0, v1) = (self.values[i], self.values[i + 1]);
+                let frac = if v1 > v0 { (threshold - v0) / (v1 - v0) } else { 1.0 };
+                Some(Seconds(self.t0 + self.dt * (i as f64 + frac)))
+            }
+        }
+    }
+
+    /// The *last* downward crossing of `threshold`: the time after which
+    /// the waveform stays at or below the threshold, linearly
+    /// interpolated. The falling-edge mirror of
+    /// [`Waveform::rising_crossing`].
+    pub fn falling_crossing(&self, threshold: f64) -> Option<Seconds> {
+        if self.values.is_empty() || *self.values.last().expect("non-empty") > threshold {
+            return None;
+        }
+        let above = self.values.iter().rposition(|&v| v > threshold);
+        match above {
+            None => Some(Seconds(self.t0)),
+            Some(i) => {
+                if i + 1 >= self.values.len() {
+                    return None;
+                }
+                let (v0, v1) = (self.values[i], self.values[i + 1]);
+                let frac = if v1 < v0 { (v0 - threshold) / (v0 - v1) } else { 1.0 };
+                Some(Seconds(self.t0 + self.dt * (i as f64 + frac)))
+            }
+        }
+    }
+
+    /// 10 %–90 % rise slew relative to `vdd`.
+    ///
+    /// Returns `None` when either threshold is never settled above.
+    pub fn rise_slew(&self, vdd: f64) -> Option<Seconds> {
+        let t10 = self.rising_crossing(0.1 * vdd)?;
+        let t90 = self.rising_crossing(0.9 * vdd)?;
+        Some(Seconds((t90.value() - t10.value()).max(0.0)))
+    }
+
+    /// 90 %–10 % fall slew relative to `vdd`.
+    ///
+    /// Returns `None` when either threshold is never settled below.
+    pub fn fall_slew(&self, vdd: f64) -> Option<Seconds> {
+        let t90 = self.falling_crossing(0.9 * vdd)?;
+        let t10 = self.falling_crossing(0.1 * vdd)?;
+        Some(Seconds((t10.value() - t90.value()).max(0.0)))
+    }
+
+    /// 50 % rising crossing relative to `vdd`.
+    pub fn t50(&self, vdd: f64) -> Option<Seconds> {
+        self.rising_crossing(0.5 * vdd)
+    }
+
+    /// 50 % falling crossing relative to `vdd`.
+    pub fn t50_fall(&self, vdd: f64) -> Option<Seconds> {
+        self.falling_crossing(0.5 * vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0.0, 0.25, 0.5, 0.75, 1.0 at t = 0, 1, 2, 3, 4 ps
+        Waveform::new(
+            Seconds(0.0),
+            Seconds(1e-12),
+            vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        )
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let w = ramp();
+        let t = w.rising_crossing(0.5).unwrap();
+        assert!((t.value() - 2e-12).abs() < 1e-24);
+        let t = w.rising_crossing(0.4).unwrap();
+        assert!((t.value() - 1.6e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn slew_10_90() {
+        let w = ramp();
+        let s = w.rise_slew(1.0).unwrap();
+        // t10 = 0.4ps, t90 = 3.6ps
+        assert!((s.value() - 3.2e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn unsettled_returns_none() {
+        let w = Waveform::new(Seconds(0.0), Seconds(1e-12), vec![0.0, 0.3, 0.4]);
+        assert_eq!(w.rising_crossing(0.5), None);
+        assert_eq!(w.rise_slew(1.0), None);
+    }
+
+    #[test]
+    fn already_above_returns_start() {
+        let w = Waveform::new(Seconds(2e-12), Seconds(1e-12), vec![0.8, 0.9, 1.0]);
+        let t = w.rising_crossing(0.5).unwrap();
+        assert_eq!(t, Seconds(2e-12));
+    }
+
+    #[test]
+    fn non_monotonic_takes_last_crossing() {
+        // Dips back below 0.5 after first crossing (crosstalk glitch).
+        let w = Waveform::new(
+            Seconds(0.0),
+            Seconds(1e-12),
+            vec![0.0, 0.6, 0.4, 0.45, 0.55, 1.0],
+        );
+        let t = w.rising_crossing(0.5).unwrap();
+        // last below-threshold index is 3 (0.45), interpolate to 0.5 between 3 and 4.
+        assert!((t.value() - 3.5e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = ramp();
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+        assert_eq!(w.final_value(), Volts(1.0));
+        assert_eq!(w.time_at(2), Seconds(2e-12));
+    }
+
+    #[test]
+    fn falling_crossing_and_slew() {
+        // 1.0 -> 0.0 ramp over 4 ps.
+        let w = Waveform::new(
+            Seconds(0.0),
+            Seconds(1e-12),
+            vec![1.0, 0.75, 0.5, 0.25, 0.0],
+        );
+        let t = w.falling_crossing(0.5).unwrap();
+        assert!((t.value() - 2e-12).abs() < 1e-24);
+        let s = w.fall_slew(1.0).unwrap();
+        assert!((s.value() - 3.2e-12).abs() < 1e-24);
+        assert_eq!(w.t50_fall(1.0), Some(Seconds(2e-12)));
+        // Rising queries on a falling waveform report unsettled.
+        assert_eq!(w.rising_crossing(0.5), None);
+    }
+
+    #[test]
+    fn falling_crossing_unsettled_is_none() {
+        let w = Waveform::new(Seconds(0.0), Seconds(1e-12), vec![1.0, 0.8, 0.7]);
+        assert_eq!(w.falling_crossing(0.5), None);
+        // Already below: crossing at start.
+        let w = Waveform::new(Seconds(1e-12), Seconds(1e-12), vec![0.2, 0.1, 0.0]);
+        assert_eq!(w.falling_crossing(0.5), Some(Seconds(1e-12)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dt_panics() {
+        let _ = Waveform::new(Seconds(0.0), Seconds(0.0), vec![0.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Physics property tests: circuit-theory facts that must hold for the
+//! golden simulator on arbitrary generated networks.
+
+use netgen::nets::{NetConfig, NetGenerator};
+use proptest::prelude::*;
+use rcnet::{Ohms, Seconds};
+use rcsim::{Edge, GoldenTimer, SiMode};
+
+fn generated_net(seed: u64, nontree: bool) -> rcnet::RcNet {
+    let cfg = NetConfig {
+        nodes_min: 4,
+        nodes_max: 14,
+        ..Default::default()
+    };
+    NetGenerator::new(seed, cfg).net(format!("phys{seed}"), nontree)
+}
+
+proptest! {
+    // The transient simulator is the expensive engine; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn delays_and_slews_are_positive_and_finite(seed in 0u64..5_000, nontree in any::<bool>()) {
+        let net = generated_net(seed, nontree);
+        let timer = GoldenTimer::new(0.8, Ohms(140.0)).with_steps(1500);
+        let timing = timer
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .expect("simulation settles");
+        prop_assert_eq!(timing.len(), net.paths().len());
+        for t in &timing {
+            prop_assert!(t.delay.value() >= 0.0 && t.delay.value().is_finite());
+            prop_assert!(t.slew.value() > 0.0 && t.slew.value().is_finite());
+            // Sub-nanosecond scale for these tiny nets.
+            prop_assert!(t.delay.value() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weaker_drive_never_speeds_things_up(seed in 0u64..5_000) {
+        let net = generated_net(seed, false);
+        let slew = Seconds::from_ps(20.0);
+        let strong = GoldenTimer::new(0.8, Ohms(80.0)).with_steps(1500)
+            .time_net(&net, slew, SiMode::Off).expect("strong");
+        let weak = GoldenTimer::new(0.8, Ohms(400.0)).with_steps(1500)
+            .time_net(&net, slew, SiMode::Off).expect("weak");
+        for (s, w) in strong.iter().zip(&weak) {
+            // Wire delay is measured pin-to-pin; a weaker driver slows the
+            // whole net but can only *increase* the sink slew.
+            prop_assert!(w.slew.value() >= s.slew.value() - 1e-13);
+        }
+    }
+
+    #[test]
+    fn rise_and_fall_agree_on_linear_nets(seed in 0u64..5_000, nontree in any::<bool>()) {
+        let net = generated_net(seed, nontree);
+        let timer = GoldenTimer::new(0.8, Ohms(140.0)).with_steps(1500);
+        let slew = Seconds::from_ps(20.0);
+        let rise = timer.time_net_edge(&net, slew, SiMode::Off, Edge::Rise).expect("rise");
+        let fall = timer.time_net_edge(&net, slew, SiMode::Off, Edge::Fall).expect("fall");
+        for (r, f) in rise.iter().zip(&fall) {
+            prop_assert!((r.delay.value() - f.delay.value()).abs() < 1e-13);
+            prop_assert!((r.slew.value() - f.slew.value()).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn si_delta_delay_is_nonnegative(seed in 0u64..5_000) {
+        let net = generated_net(seed, true);
+        prop_assume!(!net.couplings().is_empty());
+        let timer = GoldenTimer::new(0.8, Ohms(140.0)).with_steps(1500);
+        let slew = Seconds::from_ps(20.0);
+        let quiet = timer.time_net(&net, slew, SiMode::Off).expect("quiet");
+        let noisy = timer
+            .time_net(&net, slew, SiMode::WorstCase { aggressor_ramp: slew })
+            .expect("noisy");
+        for (q, n) in quiet.iter().zip(&noisy) {
+            prop_assert!(n.delay.value() >= q.delay.value() - 1e-13);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Built-in parametric cell library.
+//!
+//! A small standard-cell set with NLDM tables generated from a
+//! first-order delay model `d = t0 + k_s·slew + R_eff·load` plus a mild
+//! square-root nonlinearity, characterized over industry-typical axes
+//! (5–160 ps slews, 1–64 fF loads). The absolute numbers are synthetic
+//! but the monotonicities and drive-strength scaling that TABLE V's
+//! arrival-time sums depend on are faithful.
+
+use crate::liberty::{Nldm2d, TimingArc};
+use crate::StaError;
+use rcnet::{Farads, Ohms};
+
+/// Logic function of a cell (one of the paper's path features is "func. of
+/// drive cell").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFunc {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// Flip-flop (path start/end point).
+    Dff,
+}
+
+impl CellFunc {
+    /// Stable small integer encoding for feature vectors.
+    pub fn encode(self) -> f64 {
+        match self {
+            CellFunc::Inv => 0.0,
+            CellFunc::Buf => 1.0,
+            CellFunc::Nand2 => 2.0,
+            CellFunc::Nor2 => 3.0,
+            CellFunc::Dff => 4.0,
+        }
+    }
+}
+
+/// One library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    func: CellFunc,
+    /// Drive strength multiple (X1 = 1.0).
+    drive: f64,
+    /// Thevenin-equivalent output resistance (drives the wire simulator).
+    drive_res: Ohms,
+    /// Input pin capacitance.
+    pin_cap: Farads,
+    arc: TimingArc,
+}
+
+impl Cell {
+    /// Cell name, e.g. `BUF_X2`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function.
+    pub fn func(&self) -> CellFunc {
+        self.func
+    }
+
+    /// Drive strength multiple.
+    pub fn drive(&self) -> f64 {
+        self.drive
+    }
+
+    /// Thevenin output resistance.
+    pub fn drive_res(&self) -> Ohms {
+        self.drive_res
+    }
+
+    /// Input pin capacitance.
+    pub fn pin_cap(&self) -> Farads {
+        self.pin_cap
+    }
+
+    /// The input→output timing arc.
+    pub fn arc(&self) -> &TimingArc {
+        &self.arc
+    }
+}
+
+/// A named collection of cells.
+#[derive(Debug, Clone, Default)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        CellLibrary::default()
+    }
+
+    /// The built-in library: INV/BUF at X1/X2/X4, NAND2/NOR2 at X1/X2,
+    /// and a DFF end-point.
+    pub fn builtin() -> Self {
+        let mut lib = CellLibrary::new();
+        let combos: &[(CellFunc, &str, f64)] = &[
+            (CellFunc::Inv, "INV", 1.0),
+            (CellFunc::Inv, "INV", 2.0),
+            (CellFunc::Inv, "INV", 4.0),
+            (CellFunc::Buf, "BUF", 1.0),
+            (CellFunc::Buf, "BUF", 2.0),
+            (CellFunc::Buf, "BUF", 4.0),
+            (CellFunc::Nand2, "NAND2", 1.0),
+            (CellFunc::Nand2, "NAND2", 2.0),
+            (CellFunc::Nor2, "NOR2", 1.0),
+            (CellFunc::Nor2, "NOR2", 2.0),
+            (CellFunc::Dff, "DFF", 1.0),
+        ];
+        for &(func, base, drive) in combos {
+            lib.cells
+                .push(Self::parametric_cell(func, base, drive).expect("builtin tables are valid"));
+        }
+        lib
+    }
+
+    fn parametric_cell(func: CellFunc, base: &str, drive: f64) -> Result<Cell, StaError> {
+        // Base intrinsic delay and effective resistance per function; the
+        // effective resistance scales inversely with drive strength.
+        let (t0, r_eff_x1) = match func {
+            CellFunc::Inv => (4e-12, 900.0),
+            CellFunc::Buf => (7e-12, 800.0),
+            CellFunc::Nand2 => (6e-12, 1100.0),
+            CellFunc::Nor2 => (7e-12, 1300.0),
+            CellFunc::Dff => (45e-12, 1000.0),
+        };
+        let r_eff = r_eff_x1 / drive;
+        let slews: Vec<f64> = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0]
+            .iter()
+            .map(|p| p * 1e-12)
+            .collect();
+        let loads: Vec<f64> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|f| f * 1e-15)
+            .collect();
+        let delay = Nldm2d::from_model(slews.clone(), loads.clone(), move |s, l| {
+            t0 + 0.22 * s + r_eff * l + 1.5e-12 * (l / 1e-15).sqrt()
+        })?;
+        let out_slew = Nldm2d::from_model(slews, loads, move |s, l| {
+            2.5e-12 + 0.18 * s + 1.9 * r_eff * l
+        })?;
+        Ok(Cell {
+            name: format!("{base}_X{}", drive as u32),
+            func,
+            drive,
+            drive_res: Ohms(r_eff * 0.35),
+            pin_cap: Farads::from_ff(0.9 * drive.sqrt()),
+            arc: TimingArc::new(delay, out_slew),
+        })
+    }
+
+    /// Looks up a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Cells implementing a function, ordered by drive strength.
+    pub fn by_func(&self, func: CellFunc) -> Vec<&Cell> {
+        let mut v: Vec<&Cell> = self.cells.iter().filter(|c| c.func == func).collect();
+        v.sort_by(|a, b| a.drive.total_cmp(&b.drive));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::Seconds;
+
+    #[test]
+    fn builtin_has_expected_cells() {
+        let lib = CellLibrary::builtin();
+        for name in [
+            "INV_X1", "INV_X2", "INV_X4", "BUF_X1", "BUF_X2", "BUF_X4", "NAND2_X1", "NAND2_X2",
+            "NOR2_X1", "NOR2_X2", "DFF_X1",
+        ] {
+            assert!(lib.cell(name).is_some(), "missing {name}");
+        }
+        assert!(lib.cell("XOR9_X9").is_none());
+    }
+
+    #[test]
+    fn delay_monotone_in_load_and_slew() {
+        let lib = CellLibrary::builtin();
+        let c = lib.cell("BUF_X1").unwrap();
+        let d_small = c.arc().eval(Seconds::from_ps(10.0), Farads::from_ff(2.0)).0;
+        let d_big_load = c.arc().eval(Seconds::from_ps(10.0), Farads::from_ff(30.0)).0;
+        let d_big_slew = c.arc().eval(Seconds::from_ps(120.0), Farads::from_ff(2.0)).0;
+        assert!(d_big_load > d_small);
+        assert!(d_big_slew > d_small);
+    }
+
+    #[test]
+    fn stronger_drive_is_faster_into_same_load() {
+        let lib = CellLibrary::builtin();
+        let x1 = lib.cell("INV_X1").unwrap();
+        let x4 = lib.cell("INV_X4").unwrap();
+        let q = (Seconds::from_ps(20.0), Farads::from_ff(16.0));
+        assert!(x4.arc().eval(q.0, q.1).0 < x1.arc().eval(q.0, q.1).0);
+        assert!(x4.drive_res() < x1.drive_res());
+        assert!(x4.pin_cap() > x1.pin_cap());
+    }
+
+    #[test]
+    fn by_func_sorted_by_drive() {
+        let lib = CellLibrary::builtin();
+        let bufs = lib.by_func(CellFunc::Buf);
+        assert_eq!(bufs.len(), 3);
+        assert!(bufs[0].drive() < bufs[1].drive());
+        assert!(bufs[1].drive() < bufs[2].drive());
+    }
+
+    #[test]
+    fn func_encoding_distinct() {
+        let codes: Vec<f64> = [
+            CellFunc::Inv,
+            CellFunc::Buf,
+            CellFunc::Nand2,
+            CellFunc::Nor2,
+            CellFunc::Dff,
+        ]
+        .iter()
+        .map(|f| f.encode())
+        .collect();
+        let mut sorted = codes.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
+    }
+}

@@ -1,0 +1,218 @@
+//! NLDM-style 2-D lookup tables.
+//!
+//! Liberty NLDM characterizes each timing arc as a table over input
+//! transition time and output load capacitance. Interpolation is bilinear;
+//! queries outside the characterized grid clamp to the border cell and
+//! extrapolate linearly along it, matching common STA tool behaviour.
+
+use crate::StaError;
+use rcnet::{Farads, Seconds};
+
+/// A 2-D lookup table: rows indexed by input slew, columns by load cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nldm2d {
+    slews: Vec<f64>,
+    loads: Vec<f64>,
+    /// Row-major values, `values[i * loads.len() + j]`, in seconds.
+    values: Vec<f64>,
+}
+
+impl Nldm2d {
+    /// Builds a table from its axes and row-major values (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadTable`] when an axis is empty or unsorted or
+    /// the value count does not match.
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<f64>) -> Result<Self, StaError> {
+        if slews.is_empty() || loads.is_empty() {
+            return Err(StaError::BadTable("empty axis".into()));
+        }
+        if values.len() != slews.len() * loads.len() {
+            return Err(StaError::BadTable(format!(
+                "expected {} values, got {}",
+                slews.len() * loads.len(),
+                values.len()
+            )));
+        }
+        for w in slews.windows(2) {
+            if w[1] <= w[0] {
+                return Err(StaError::BadTable("slew axis not increasing".into()));
+            }
+        }
+        for w in loads.windows(2) {
+            if w[1] <= w[0] {
+                return Err(StaError::BadTable("load axis not increasing".into()));
+            }
+        }
+        Ok(Nldm2d {
+            slews,
+            loads,
+            values,
+        })
+    }
+
+    /// Generates a table by sampling a closed-form model `f(slew, load)`
+    /// on the given axes — how the built-in library builds its arcs.
+    pub fn from_model<F: Fn(f64, f64) -> f64>(
+        slews: Vec<f64>,
+        loads: Vec<f64>,
+        f: F,
+    ) -> Result<Self, StaError> {
+        let mut values = Vec::with_capacity(slews.len() * loads.len());
+        for &s in &slews {
+            for &l in &loads {
+                values.push(f(s, l));
+            }
+        }
+        Nldm2d::new(slews, loads, values)
+    }
+
+    /// Table axes.
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// Table axes.
+    pub fn load_axis(&self) -> &[f64] {
+        &self.loads
+    }
+
+    fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
+        // Returns the lower index and the interpolation fraction; clamps
+        // outside the grid to the border segment (linear extrapolation).
+        if axis.len() == 1 {
+            return (0, 0.0);
+        }
+        let hi = axis.len() - 1;
+        let i = match axis.iter().position(|&a| a > x) {
+            Some(0) => 0,
+            Some(p) => p - 1,
+            None => hi - 1,
+        };
+        let i = i.min(hi - 1);
+        let frac = (x - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, frac)
+    }
+
+    /// Bilinear interpolation at `(slew, load)`.
+    pub fn eval(&self, slew: Seconds, load: Farads) -> Seconds {
+        let (i, fs) = Self::bracket(&self.slews, slew.value());
+        let (j, fl) = Self::bracket(&self.loads, load.value());
+        let n = self.loads.len();
+        let at = |r: usize, c: usize| self.values[r * n + c];
+        let v00 = at(i, j);
+        let (v01, v10, v11) = if self.loads.len() == 1 && self.slews.len() == 1 {
+            (v00, v00, v00)
+        } else if self.loads.len() == 1 {
+            (v00, at(i + 1, j), at(i + 1, j))
+        } else if self.slews.len() == 1 {
+            (at(i, j + 1), v00, at(i, j + 1))
+        } else {
+            (at(i, j + 1), at(i + 1, j), at(i + 1, j + 1))
+        };
+        let top = v00 + (v01 - v00) * fl;
+        let bot = v10 + (v11 - v10) * fl;
+        Seconds(top + (bot - top) * fs)
+    }
+}
+
+/// A timing arc: a delay table plus an output-slew table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingArc {
+    delay: Nldm2d,
+    out_slew: Nldm2d,
+}
+
+impl TimingArc {
+    /// Creates an arc from its two tables.
+    pub fn new(delay: Nldm2d, out_slew: Nldm2d) -> Self {
+        TimingArc { delay, out_slew }
+    }
+
+    /// Interpolated `(delay, output slew)` at the query point.
+    pub fn eval(&self, input_slew: Seconds, load: Farads) -> (Seconds, Seconds) {
+        (
+            self.delay.eval(input_slew, load),
+            self.out_slew.eval(input_slew, load),
+        )
+    }
+
+    /// The delay table.
+    pub fn delay_table(&self) -> &Nldm2d {
+        &self.delay
+    }
+
+    /// The output-slew table.
+    pub fn slew_table(&self) -> &Nldm2d {
+        &self.out_slew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Nldm2d {
+        // delay = slew + 2*load over slews [1,2], loads [10,20].
+        Nldm2d::new(
+            vec![1.0, 2.0],
+            vec![10.0, 20.0],
+            vec![21.0, 41.0, 22.0, 42.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert_eq!(t.eval(Seconds(1.0), Farads(10.0)), Seconds(21.0));
+        assert_eq!(t.eval(Seconds(2.0), Farads(20.0)), Seconds(42.0));
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let t = table();
+        let v = t.eval(Seconds(1.5), Farads(15.0));
+        assert!((v.value() - 31.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_extrapolation_is_linear() {
+        let t = table();
+        // Above the grid: extrapolate along the border segment.
+        let v = t.eval(Seconds(3.0), Farads(30.0));
+        assert!((v.value() - 63.0).abs() < 1e-12);
+        // Below the grid.
+        let v = t.eval(Seconds(0.0), Farads(0.0));
+        assert!((v.value() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_tables() {
+        assert!(Nldm2d::new(vec![], vec![1.0], vec![]).is_err());
+        assert!(Nldm2d::new(vec![1.0, 1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(Nldm2d::new(vec![1.0], vec![2.0, 1.0], vec![1.0, 2.0]).is_err());
+        assert!(Nldm2d::new(vec![1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_model_samples_function() {
+        let t = Nldm2d::from_model(vec![1.0, 2.0], vec![1.0, 2.0], |s, l| s * 10.0 + l).unwrap();
+        assert_eq!(t.eval(Seconds(2.0), Farads(2.0)), Seconds(22.0));
+    }
+
+    #[test]
+    fn single_point_axes() {
+        let t = Nldm2d::new(vec![1.0], vec![1.0], vec![5.0]).unwrap();
+        assert_eq!(t.eval(Seconds(9.0), Farads(9.0)), Seconds(5.0));
+    }
+
+    #[test]
+    fn arc_returns_both() {
+        let arc = TimingArc::new(table(), table());
+        let (d, s) = arc.eval(Seconds(1.0), Farads(10.0));
+        assert_eq!(d, s);
+        assert_eq!(arc.delay_table(), arc.slew_table());
+    }
+}

@@ -1,0 +1,387 @@
+//! Combinational gate netlist with topological arrival-time propagation.
+//!
+//! Nets are logical here; each carries its parasitic [`RcNet`] whose sinks
+//! align position-wise with the net's fanout pins. Arrival propagation
+//! walks a Kahn topological order: a gate's output arrival is the max over
+//! its input pins of `input arrival + NLDM gate delay`, and each fanout
+//! pin adds its wire-path delay from the pluggable [`WireTimer`].
+
+use crate::cells::Cell;
+use crate::wire::WireTimer;
+use crate::StaError;
+use rcnet::{RcNet, Seconds};
+
+/// Identifier of a logical net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetId(pub usize);
+
+/// Identifier of a gate instance within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub usize);
+
+/// A gate instance.
+#[derive(Debug, Clone)]
+pub struct GateInst {
+    /// The library cell.
+    pub cell: Cell,
+    /// Input nets (the gate is a sink of each).
+    pub inputs: Vec<NetId>,
+    /// Output net (the gate drives it).
+    pub output: NetId,
+}
+
+/// A logical net with its parasitics.
+#[derive(Debug, Clone)]
+pub struct NetInst {
+    /// Parasitic network; `rc.sinks()[i]` is fanout pin `i`.
+    pub rc: RcNet,
+    /// Driving gate (`None` for primary inputs).
+    pub driver: Option<GateId>,
+    /// Fanout gates, aligned with `rc.sinks()` (missing entries are
+    /// primary outputs).
+    pub fanout: Vec<Option<GateId>>,
+}
+
+/// Per-net timing produced by [`Netlist::propagate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTiming {
+    /// Arrival time and slew at the net's driver pin.
+    pub at_driver: (Seconds, Seconds),
+    /// Arrival time and slew at each sink, aligned with `rc.sinks()`.
+    pub at_sinks: Vec<(Seconds, Seconds)>,
+}
+
+/// A combinational netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<GateInst>,
+    nets: Vec<NetInst>,
+    primary_inputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a primary-input net.
+    pub fn add_primary_input(&mut self, rc: RcNet) -> NetId {
+        let id = NetId(self.nets.len());
+        let fanout = vec![None; rc.sinks().len()];
+        self.nets.push(NetInst {
+            rc,
+            driver: None,
+            fanout,
+        });
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Adds a gate driving a new net; `inputs` are `(net, sink position)`
+    /// pairs wiring each input pin to one sink of an existing net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] when a referenced net or sink
+    /// position does not exist or the sink is already connected.
+    pub fn add_gate(
+        &mut self,
+        cell: Cell,
+        inputs: &[(NetId, usize)],
+        output_rc: RcNet,
+    ) -> Result<(GateId, NetId), StaError> {
+        let gid = GateId(self.gates.len());
+        for &(net, pos) in inputs {
+            let ni = self
+                .nets
+                .get_mut(net.0)
+                .ok_or_else(|| StaError::BadNetlist(format!("no net {net:?}")))?;
+            let slot = ni.fanout.get_mut(pos).ok_or_else(|| {
+                StaError::BadNetlist(format!("net {net:?} has no sink position {pos}"))
+            })?;
+            if slot.is_some() {
+                return Err(StaError::BadNetlist(format!(
+                    "net {net:?} sink {pos} already connected"
+                )));
+            }
+            *slot = Some(gid);
+        }
+        let out_id = NetId(self.nets.len());
+        let fanout = vec![None; output_rc.sinks().len()];
+        self.nets.push(NetInst {
+            rc: output_rc,
+            driver: Some(gid),
+            fanout,
+        });
+        self.gates.push(GateInst {
+            cell,
+            inputs: inputs.iter().map(|&(n, _)| n).collect(),
+            output: out_id,
+        });
+        Ok((gid, out_id))
+    }
+
+    /// Gates in insertion order.
+    pub fn gates(&self) -> &[GateInst] {
+        &self.gates
+    }
+
+    /// Nets in insertion order.
+    pub fn nets(&self) -> &[NetInst] {
+        &self.nets
+    }
+
+    /// Primary-input nets.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Kahn topological order over gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] when the netlist contains a cycle.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, StaError> {
+        let mut indegree: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|n| self.nets[n.0].driver.is_some())
+                    .count()
+            })
+            .collect();
+        let mut queue: std::collections::VecDeque<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = queue.pop_front() {
+            order.push(GateId(g));
+            let out = self.gates[g].output;
+            for fo in self.nets[out.0].fanout.iter().flatten() {
+                indegree[fo.0] -= 1;
+                if indegree[fo.0] == 0 {
+                    queue.push_back(fo.0);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            return Err(StaError::BadNetlist("netlist contains a cycle".into()));
+        }
+        Ok(order)
+    }
+
+    /// Propagates arrival times from all primary inputs (arrival 0 with
+    /// the given slew) to every net, using `timer` for wires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-timer failures and cycle detection.
+    pub fn propagate<T: WireTimer>(
+        &self,
+        timer: &T,
+        input_slew: Seconds,
+    ) -> Result<Vec<NetTiming>, StaError> {
+        let order = self.topo_order()?;
+        let mut timing: Vec<Option<NetTiming>> = vec![None; self.nets.len()];
+
+        let compute_net = |net: &NetInst,
+                           at_driver: (Seconds, Seconds)|
+         -> Result<NetTiming, StaError> {
+            let driver_cell = net.driver.map(|g| &self.gates[g.0].cell);
+            let mut at_sinks = Vec::with_capacity(net.rc.sinks().len());
+            for (i, _) in net.rc.sinks().iter().enumerate() {
+                let (d, s) =
+                    timer.path_timing_with_driver(&net.rc, i, at_driver.1, driver_cell)?;
+                at_sinks.push((at_driver.0 + d, s));
+            }
+            Ok(NetTiming {
+                at_driver,
+                at_sinks,
+            })
+        };
+
+        for &pi in &self.primary_inputs {
+            timing[pi.0] = Some(compute_net(&self.nets[pi.0], (Seconds(0.0), input_slew))?);
+        }
+        for gid in order {
+            let gate = &self.gates[gid.0];
+            let out_net = &self.nets[gate.output.0];
+            let load = out_net.rc.total_cap() + out_net.rc.total_coupling_cap();
+            // Worst (max) arrival over input pins.
+            let mut best: Option<(Seconds, Seconds)> = None;
+            for &in_net in &gate.inputs {
+                let nt = timing[in_net.0].as_ref().ok_or_else(|| {
+                    StaError::BadNetlist(format!("net {in_net:?} timed before its driver"))
+                })?;
+                // Which sink of in_net feeds this gate?
+                for (pos, fo) in self.nets[in_net.0].fanout.iter().enumerate() {
+                    if *fo == Some(gid) {
+                        let (at, slew) = nt.at_sinks[pos];
+                        let (gd, out_slew) = gate.cell.arc().eval(slew, load);
+                        let cand = (at + gd, out_slew);
+                        if best.map_or(true, |b| cand.0 > b.0) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+            }
+            let at_driver = best.ok_or_else(|| {
+                StaError::BadNetlist(format!("gate {gid:?} has no connected inputs"))
+            })?;
+            timing[gate.output.0] = Some(compute_net(out_net, at_driver)?);
+        }
+        timing
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.ok_or_else(|| StaError::BadNetlist(format!("net {i} unreachable from inputs")))
+            })
+            .collect()
+    }
+
+    /// Exact number of primary-input→primary-output paths (pin-to-pin,
+    /// saturating at `u128::MAX`) — the Fig. 1(a) statistic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] on cycles.
+    pub fn count_paths(&self) -> Result<u128, StaError> {
+        let order = self.topo_order()?;
+        // Paths arriving at each net's driver pin.
+        let mut net_paths: Vec<u128> = vec![0; self.nets.len()];
+        for &pi in &self.primary_inputs {
+            net_paths[pi.0] = 1;
+        }
+        for gid in order {
+            let gate = &self.gates[gid.0];
+            let mut acc: u128 = 0;
+            for &in_net in &gate.inputs {
+                let sinks_feeding: u128 = self.nets[in_net.0]
+                    .fanout
+                    .iter()
+                    .filter(|fo| **fo == Some(gid))
+                    .count() as u128;
+                acc = acc.saturating_add(net_paths[in_net.0].saturating_mul(sinks_feeding));
+            }
+            net_paths[gate.output.0] = acc;
+        }
+        let mut total: u128 = 0;
+        for (i, net) in self.nets.iter().enumerate() {
+            let open_sinks = net.fanout.iter().filter(|fo| fo.is_none()).count() as u128;
+            total = total.saturating_add(net_paths[i].saturating_mul(open_sinks));
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+    use crate::wire::IdealWire;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    fn net(name: &str, sinks: usize) -> RcNet {
+        let mut b = RcNetBuilder::new(name);
+        let s = b.source(format!("{name}:z"), Farads::from_ff(0.5));
+        let mut prev = s;
+        for i in 0..sinks {
+            let k = b.sink(format!("{name}:s{i}"), Farads::from_ff(1.0));
+            b.resistor(prev, k, Ohms(50.0));
+            prev = k;
+        }
+        b.build().unwrap()
+    }
+
+    fn chain(depth: usize) -> Netlist {
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let mut cur = nl.add_primary_input(net("pi", 1));
+        for i in 0..depth {
+            let (_, out) = nl
+                .add_gate(
+                    lib.cell("BUF_X1").unwrap().clone(),
+                    &[(cur, 0)],
+                    net(&format!("n{i}"), 1),
+                )
+                .unwrap();
+            cur = out;
+        }
+        nl
+    }
+
+    #[test]
+    fn chain_propagates_monotonically() {
+        let nl = chain(4);
+        let t = nl.propagate(&IdealWire, Seconds::from_ps(10.0)).unwrap();
+        // Arrival increases along the chain.
+        let mut prev = Seconds(0.0);
+        for nt in &t {
+            assert!(nt.at_driver.0 >= prev);
+            prev = nt.at_driver.0;
+        }
+        assert_eq!(nl.count_paths().unwrap(), 1);
+    }
+
+    #[test]
+    fn reconvergent_fanout_multiplies_paths() {
+        // pi fans out to two gates, both feed a NAND: 2 paths.
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let pi = nl.add_primary_input(net("pi", 2));
+        let (_, a) = nl
+            .add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 0)], net("a", 1))
+            .unwrap();
+        let (_, b) = nl
+            .add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 1)], net("b", 1))
+            .unwrap();
+        let (_, _o) = nl
+            .add_gate(
+                lib.cell("NAND2_X1").unwrap().clone(),
+                &[(a, 0), (b, 0)],
+                net("o", 1),
+            )
+            .unwrap();
+        assert_eq!(nl.count_paths().unwrap(), 2);
+        let t = nl.propagate(&IdealWire, Seconds::from_ps(10.0)).unwrap();
+        assert_eq!(t.len(), nl.nets().len());
+    }
+
+    #[test]
+    fn rejects_double_connection() {
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let pi = nl.add_primary_input(net("pi", 1));
+        nl.add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 0)], net("a", 1))
+            .unwrap();
+        let err = nl.add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 0)], net("b", 1));
+        assert!(matches!(err, Err(StaError::BadNetlist(_))));
+    }
+
+    #[test]
+    fn rejects_missing_sink_position() {
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let pi = nl.add_primary_input(net("pi", 1));
+        let err = nl.add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 7)], net("a", 1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn deeper_chain_has_larger_arrival() {
+        let shallow = chain(2);
+        let deep = chain(6);
+        let slew = Seconds::from_ps(10.0);
+        let t_s = shallow.propagate(&IdealWire, slew).unwrap();
+        let t_d = deep.propagate(&IdealWire, slew).unwrap();
+        let last_s = t_s.last().unwrap().at_driver.0;
+        let last_d = t_d.last().unwrap().at_driver.0;
+        assert!(last_d > last_s);
+    }
+}

@@ -1,0 +1,234 @@
+//! Timing reports: endpoint slack against a clock period and critical
+//! path extraction — the consumer-facing half of STA that incremental
+//! optimization (the paper's target flow) iterates on.
+
+use crate::netlist::{GateId, NetId, NetTiming, Netlist};
+use crate::StaError;
+use rcnet::Seconds;
+
+/// One endpoint (an unconnected net sink) with its arrival and slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Endpoint {
+    /// The net whose sink is the endpoint.
+    pub net: NetId,
+    /// Sink position within the net.
+    pub sink: usize,
+    /// Data arrival time.
+    pub arrival: Seconds,
+    /// `period - arrival` (setup-style slack against an ideal capture).
+    pub slack: Seconds,
+}
+
+/// A step of the critical path: the gate stepped through and the arrival
+/// at its output pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// The gate (or `None` at the launching primary input).
+    pub gate: Option<GateId>,
+    /// The net the step drives / enters through.
+    pub net: NetId,
+    /// Arrival at the net's driver pin.
+    pub arrival: Seconds,
+}
+
+/// Slack report over every endpoint of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackReport {
+    /// Endpoints sorted worst-slack first.
+    pub endpoints: Vec<Endpoint>,
+    /// The clock period slack was computed against.
+    pub period: Seconds,
+}
+
+impl SlackReport {
+    /// Worst (most negative) slack, or `None` with no endpoints.
+    pub fn worst_slack(&self) -> Option<Seconds> {
+        self.endpoints.first().map(|e| e.slack)
+    }
+
+    /// Total negative slack (sum of negative slacks).
+    pub fn total_negative_slack(&self) -> Seconds {
+        Seconds(
+            self.endpoints
+                .iter()
+                .map(|e| e.slack.value().min(0.0))
+                .sum(),
+        )
+    }
+
+    /// Number of violating endpoints.
+    pub fn violations(&self) -> usize {
+        self.endpoints
+            .iter()
+            .filter(|e| e.slack.value() < 0.0)
+            .count()
+    }
+}
+
+/// Builds a slack report from a propagation result (see
+/// [`Netlist::propagate`]).
+///
+/// # Errors
+///
+/// Returns [`StaError::BadNetlist`] when `timing` does not cover the
+/// netlist.
+pub fn slack_report(
+    netlist: &Netlist,
+    timing: &[NetTiming],
+    period: Seconds,
+) -> Result<SlackReport, StaError> {
+    if timing.len() != netlist.nets().len() {
+        return Err(StaError::BadNetlist(format!(
+            "timing covers {} nets, netlist has {}",
+            timing.len(),
+            netlist.nets().len()
+        )));
+    }
+    let mut endpoints = Vec::new();
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        for (pos, fanout) in net.fanout.iter().enumerate() {
+            if fanout.is_none() {
+                let arrival = timing[ni].at_sinks[pos].0;
+                endpoints.push(Endpoint {
+                    net: NetId(ni),
+                    sink: pos,
+                    arrival,
+                    slack: period - arrival,
+                });
+            }
+        }
+    }
+    endpoints.sort_by(|a, b| a.slack.value().total_cmp(&b.slack.value()));
+    Ok(SlackReport { endpoints, period })
+}
+
+/// Traces the critical path (the input-to-endpoint chain with the latest
+/// arrival), returning the steps from launch to capture.
+///
+/// # Errors
+///
+/// Returns [`StaError::BadNetlist`] when `timing` does not cover the
+/// netlist or it has no endpoints.
+pub fn critical_path(
+    netlist: &Netlist,
+    timing: &[NetTiming],
+) -> Result<Vec<CriticalStep>, StaError> {
+    let report = slack_report(netlist, timing, Seconds(0.0))?;
+    let worst = report
+        .endpoints
+        .first()
+        .ok_or_else(|| StaError::BadNetlist("netlist has no endpoints".into()))?;
+
+    // Walk backwards: from the endpoint's net to its driving gate, then to
+    // the gate's worst input net, until a primary input is reached.
+    let mut steps = Vec::new();
+    let mut net = worst.net;
+    loop {
+        let driver = netlist.nets()[net.0].driver;
+        steps.push(CriticalStep {
+            gate: driver,
+            net,
+            arrival: timing[net.0].at_driver.0,
+        });
+        let Some(gate) = driver else { break };
+        // Worst input pin of this gate: the (net, sink) whose arrival is
+        // largest among pins feeding the gate.
+        let mut worst_input: Option<(NetId, f64)> = None;
+        for &in_net in &netlist.gates()[gate.0].inputs {
+            for (pos, fo) in netlist.nets()[in_net.0].fanout.iter().enumerate() {
+                if *fo == Some(gate) {
+                    let at = timing[in_net.0].at_sinks[pos].0.value();
+                    if worst_input.map_or(true, |(_, w)| at > w) {
+                        worst_input = Some((in_net, at));
+                    }
+                }
+            }
+        }
+        let Some((prev, _)) = worst_input else { break };
+        net = prev;
+    }
+    steps.reverse();
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellLibrary;
+    use crate::wire::IdealWire;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    fn net(name: &str, sinks: usize) -> rcnet::RcNet {
+        let mut b = RcNetBuilder::new(name);
+        let s = b.source(format!("{name}:z"), Farads::from_ff(0.5));
+        let mut prev = s;
+        for i in 0..sinks {
+            let k = b.sink(format!("{name}:s{i}"), Farads::from_ff(1.0));
+            b.resistor(prev, k, Ohms(50.0));
+            prev = k;
+        }
+        b.build().unwrap()
+    }
+
+    /// pi -> INV -> BUF -> out, with a second short branch pi -> INV2 -> out2.
+    fn two_branch() -> Netlist {
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let pi = nl.add_primary_input(net("pi", 2));
+        let (_, a) = nl
+            .add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 0)], net("a", 1))
+            .unwrap();
+        let (_, _long) = nl
+            .add_gate(lib.cell("BUF_X1").unwrap().clone(), &[(a, 0)], net("long", 1))
+            .unwrap();
+        let (_, _short) = nl
+            .add_gate(lib.cell("INV_X4").unwrap().clone(), &[(pi, 1)], net("short", 1))
+            .unwrap();
+        nl
+    }
+
+    #[test]
+    fn slack_orders_endpoints_worst_first() {
+        let nl = two_branch();
+        let timing = nl.propagate(&IdealWire, Seconds::from_ps(10.0)).unwrap();
+        let report = slack_report(&nl, &timing, Seconds::from_ps(100.0)).unwrap();
+        assert_eq!(report.endpoints.len(), 2);
+        assert!(report.endpoints[0].slack <= report.endpoints[1].slack);
+        assert_eq!(report.worst_slack(), Some(report.endpoints[0].slack));
+    }
+
+    #[test]
+    fn tight_period_creates_violations() {
+        let nl = two_branch();
+        let timing = nl.propagate(&IdealWire, Seconds::from_ps(10.0)).unwrap();
+        let loose = slack_report(&nl, &timing, Seconds::from_ps(1000.0)).unwrap();
+        assert_eq!(loose.violations(), 0);
+        assert_eq!(loose.total_negative_slack(), Seconds(0.0));
+        let tight = slack_report(&nl, &timing, Seconds::from_ps(1.0)).unwrap();
+        assert_eq!(tight.violations(), 2);
+        assert!(tight.total_negative_slack().value() < 0.0);
+    }
+
+    #[test]
+    fn critical_path_walks_the_two_gate_branch() {
+        let nl = two_branch();
+        let timing = nl.propagate(&IdealWire, Seconds::from_ps(10.0)).unwrap();
+        let path = critical_path(&nl, &timing).unwrap();
+        // The INV->BUF branch is slower than the single INV_X4 branch:
+        // pi, a, long = 3 steps, first step is the primary input.
+        assert_eq!(path.len(), 3);
+        assert!(path[0].gate.is_none());
+        assert!(path[1].gate.is_some());
+        // Arrivals are non-decreasing along the path.
+        for w in path.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_timing() {
+        let nl = two_branch();
+        assert!(slack_report(&nl, &[], Seconds::from_ps(1.0)).is_err());
+        assert!(critical_path(&nl, &[]).is_err());
+    }
+}

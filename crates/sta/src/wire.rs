@@ -1,0 +1,104 @@
+//! The wire-timing abstraction arrival-time computation plugs into.
+//!
+//! The whole point of the paper is swapping the slow sign-off wire timer
+//! for a learned one *without touching the rest of the STA flow*; this
+//! trait is that seam. The golden simulator, the GNNTrans estimator and
+//! the analytical Elmore engine all implement it (in the crates that own
+//! them), and [`crate::path`] / [`crate::netlist`] are generic over it.
+
+use crate::cells::Cell;
+use crate::StaError;
+use rcnet::{RcNet, Seconds};
+
+/// Produces the delay and sink slew of one wire path of a net, given the
+/// slew at the net's driver pin.
+pub trait WireTimer {
+    /// Returns `(wire delay, sink slew)` for `net.paths()[path_idx]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::Wire`] when the engine fails on this net (e.g.
+    /// a simulation that does not settle).
+    fn path_timing(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+    ) -> Result<(Seconds, Seconds), StaError>;
+
+    /// Like [`WireTimer::path_timing`] with the driving cell known — the
+    /// arrival engine always knows who drives a net, and engines that
+    /// model the driver (simulators, learned estimators) produce better
+    /// numbers with it. The default ignores the hint.
+    fn path_timing_with_driver(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+        driver: Option<&Cell>,
+    ) -> Result<(Seconds, Seconds), StaError> {
+        let _ = driver;
+        self.path_timing(net, path_idx, input_slew)
+    }
+}
+
+/// The ideal-wire timer: zero delay, slew passes through unchanged.
+/// Useful for tests and for isolating gate-only arrival times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealWire;
+
+impl WireTimer for IdealWire {
+    fn path_timing(
+        &self,
+        _net: &RcNet,
+        _path_idx: usize,
+        input_slew: Seconds,
+    ) -> Result<(Seconds, Seconds), StaError> {
+        Ok((Seconds(0.0), input_slew))
+    }
+}
+
+impl<T: WireTimer + ?Sized> WireTimer for &T {
+    fn path_timing(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+    ) -> Result<(Seconds, Seconds), StaError> {
+        (**self).path_timing(net, path_idx, input_slew)
+    }
+
+    fn path_timing_with_driver(
+        &self,
+        net: &RcNet,
+        path_idx: usize,
+        input_slew: Seconds,
+        driver: Option<&Cell>,
+    ) -> Result<(Seconds, Seconds), StaError> {
+        (**self).path_timing_with_driver(net, path_idx, input_slew, driver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    #[test]
+    fn ideal_wire_passes_slew() {
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("s", Farads(1e-15));
+        let k = b.sink("k", Farads(1e-15));
+        b.resistor(s, k, Ohms(1.0));
+        let net = b.build().unwrap();
+        let (d, s) = IdealWire
+            .path_timing(&net, 0, Seconds::from_ps(12.0))
+            .unwrap();
+        assert_eq!(d, Seconds(0.0));
+        assert_eq!(s, Seconds::from_ps(12.0));
+        // Trait-object and reference forwarding compile and agree.
+        let dyn_timer: &dyn WireTimer = &IdealWire;
+        let (d2, _) = dyn_timer.path_timing(&net, 0, Seconds::from_ps(12.0)).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for NLDM interpolation and the built-in library.
+
+use proptest::prelude::*;
+use rcnet::{Farads, Seconds};
+use sta::cells::CellLibrary;
+use sta::liberty::Nldm2d;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_of_monotone_table_is_bounded_inside_grid(
+        slew in 5e-12f64..160e-12,
+        load in 1e-15f64..64e-15,
+    ) {
+        // Sampled from the same monotone model as the builtin library.
+        let t = Nldm2d::from_model(
+            vec![5e-12, 20e-12, 80e-12, 160e-12],
+            vec![1e-15, 8e-15, 64e-15],
+            |s, l| 1e-12 + 0.2 * s + 800.0 * l,
+        ).expect("table");
+        let v = t.eval(Seconds(slew), Farads(load)).value();
+        let lo = t.eval(Seconds(5e-12), Farads(1e-15)).value();
+        let hi = t.eval(Seconds(160e-12), Farads(64e-15)).value();
+        prop_assert!(v >= lo - 1e-18 && v <= hi + 1e-18, "{lo} <= {v} <= {hi}");
+    }
+
+    #[test]
+    fn interpolation_of_linear_model_is_exact(
+        slew in 0.0f64..200e-12,
+        load in 0.0f64..80e-15,
+    ) {
+        // Bilinear interpolation reproduces a bilinear function exactly,
+        // inside and outside the characterized grid.
+        let f = |s: f64, l: f64| 2e-12 + 0.17 * s + 650.0 * l;
+        let t = Nldm2d::from_model(
+            vec![10e-12, 40e-12, 120e-12],
+            vec![2e-15, 16e-15, 48e-15],
+            f,
+        ).expect("table");
+        let v = t.eval(Seconds(slew), Farads(load)).value();
+        let want = f(slew, load);
+        prop_assert!((v - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    fn builtin_cells_are_monotone_in_slew_and_load(
+        cell_idx in 0usize..11,
+        s1 in 5e-12f64..150e-12,
+        ds in 1e-12f64..50e-12,
+        l1 in 1e-15f64..50e-15,
+        dl in 1e-15f64..20e-15,
+    ) {
+        let lib = CellLibrary::builtin();
+        let cell = &lib.cells()[cell_idx % lib.cells().len()];
+        let base = cell.arc().eval(Seconds(s1), Farads(l1));
+        let slower = cell.arc().eval(Seconds(s1 + ds), Farads(l1));
+        let heavier = cell.arc().eval(Seconds(s1), Farads(l1 + dl));
+        prop_assert!(slower.0 >= base.0, "delay monotone in slew");
+        prop_assert!(heavier.0 >= base.0, "delay monotone in load");
+        prop_assert!(slower.1 >= base.1, "out slew monotone in slew");
+        prop_assert!(heavier.1 >= base.1, "out slew monotone in load");
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic weight initialization.
+//!
+//! Uses an internal SplitMix64 stream so the crate needs no RNG dependency
+//! and every training run is exactly reproducible from a seed.
+
+use crate::Mat;
+
+/// A tiny deterministic pseudo-random stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct InitRng {
+    state: u64,
+}
+
+impl InitRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        InitRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        let v = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        2.0 * v - 1.0
+    }
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The right default for linear and
+/// attention projections.
+pub fn xavier(rows: usize, cols: usize, rng: &mut InitRng) -> Mat {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.uniform() * a;
+    }
+    m
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+/// Preferred in front of ReLU activations.
+pub fn he(rows: usize, cols: usize, rng: &mut InitRng) -> Mat {
+    let a = (6.0 / rows as f32).sqrt();
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.uniform() * a;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = xavier(4, 4, &mut InitRng::new(42));
+        let b = xavier(4, 4, &mut InitRng::new(42));
+        assert_eq!(a, b);
+        let c = xavier(4, 4, &mut InitRng::new(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier(10, 20, &mut InitRng::new(1));
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_respects_bound() {
+        let m = he(10, 20, &mut InitRng::new(1));
+        let bound = (6.0f32 / 10.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_covers_both_signs() {
+        let mut rng = InitRng::new(7);
+        let vals: Vec<f32> = (0..100).map(|_| rng.uniform()).collect();
+        assert!(vals.iter().any(|&v| v > 0.0));
+        assert!(vals.iter().any(|&v| v < 0.0));
+        assert!(vals.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+}

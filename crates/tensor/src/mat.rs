@@ -1,0 +1,288 @@
+//! Dense row-major `f32` matrix kernels used by the autograd tape.
+
+use crate::TensorError;
+use std::fmt;
+
+/// A dense, row-major `f32` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::Mat;
+///
+/// let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let b = Mat::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// A `rows` x `cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with every element set to `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// The `n` x `n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidInput`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidInput(format!(
+                "data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// A 1 x n row matrix.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        Mat {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product. Shapes must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let out_row = i * rhs.cols;
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Scaled copy.
+    pub fn scale(&self, s: f32) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest absolute element, 0 when empty.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert!(Mat::from_vec(2, 2, vec![1.0]).is_err());
+        assert_eq!(Mat::row_vector(vec![1., 2.]).shape(), (1, 2));
+        assert_eq!(Mat::full(2, 2, 7.0).sum(), 28.0);
+    }
+
+    #[test]
+    fn matmul_identity_and_hand_check() {
+        let a = Mat::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(a.matmul(&Mat::eye(2)), a);
+        let b = Mat::from_vec(2, 1, vec![1., -1.]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[-1., -1.]);
+    }
+
+    #[test]
+    fn transpose_and_norms() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(a.max_abs(), 6.0);
+        assert!((Mat::from_vec(1, 2, vec![3., 4.]).unwrap().norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Mat::from_vec(1, 3, vec![1., 2., 3.]).unwrap();
+        let b = Mat::from_vec(1, 3, vec![2., 0., -1.]).unwrap();
+        assert_eq!(a.add(&b).as_slice(), &[3., 2., 2.]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[2., 0., -3.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., 4., 6.]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.as_slice(), &[2., 2., 2.5]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Parameter storage and first-order optimizers.
+
+use crate::Mat;
+
+/// A named, indexable set of trainable parameter matrices.
+///
+/// Models register their weights here once; each training step re-inserts
+/// them into a fresh [`crate::Tape`] via [`crate::Tape::param`] using the
+/// index returned by [`ParamSet::add`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamSet {
+    names: Vec<String>,
+    mats: Vec<Mat>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        ParamSet::default()
+    }
+
+    /// Registers a parameter, returning its index.
+    pub fn add(&mut self, name: impl Into<String>, value: Mat) -> usize {
+        self.names.push(name.into());
+        self.mats.push(value);
+        self.mats.len() - 1
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Parameter value by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn get(&self, idx: usize) -> &Mat {
+        &self.mats[idx]
+    }
+
+    /// Mutable parameter value by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Mat {
+        &mut self.mats[idx]
+    }
+
+    /// Parameter name by index.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// Iterates over `(name, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Mat)> {
+        self.names.iter().map(|s| s.as_str()).zip(self.mats.iter())
+    }
+
+    /// Total number of scalar weights.
+    pub fn scalar_count(&self) -> usize {
+        self.mats.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one descent step for each `(param_id, grad)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a gradient's shape differs from its parameter.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[(usize, Mat)]) {
+        for (pid, g) in grads {
+            params.get_mut(*pid).axpy(-self.lr, g);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay; 0 disables.
+    pub weight_decay: f32,
+    t: i32,
+    m: Vec<Option<Mat>>,
+    v: Vec<Option<Mat>>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical `beta1=0.9, beta2=0.999, eps=1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Enables decoupled weight decay (AdamW): parameters shrink by
+    /// `lr * decay` per step before the adaptive update.
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+
+    /// Applies one Adam step for each `(param_id, grad)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a gradient's shape differs from its parameter.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[(usize, Mat)]) {
+        self.t += 1;
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (pid, g) in grads {
+            let p = params.get_mut(*pid);
+            let m = self.m[*pid].get_or_insert_with(|| Mat::zeros(p.rows(), p.cols()));
+            let v = self.v[*pid].get_or_insert_with(|| Mat::zeros(p.rows(), p.cols()));
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            if self.weight_decay != 0.0 {
+                let shrink = 1.0 - self.lr * self.weight_decay;
+                for w in p.as_mut_slice() {
+                    *w *= shrink;
+                }
+            }
+            for i in 0..p.as_slice().len() {
+                let gi = g.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    fn quadratic_step<O: FnMut(&mut ParamSet, &[(usize, Mat)])>(
+        params: &mut ParamSet,
+        w: usize,
+        mut apply: O,
+    ) -> f32 {
+        // loss = (w - 3)^2, via the tape.
+        let mut tape = Tape::new();
+        let wv = tape.param(w, params.get(w).clone());
+        let target = Mat::full(1, 1, 3.0);
+        let loss = tape.mse_loss(wv, &target);
+        tape.backward(loss);
+        let l = tape.value(loss).get(0, 0);
+        apply(params, &tape.param_grads());
+        l
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Mat::zeros(1, 1));
+        let mut opt = Sgd::new(0.2);
+        for _ in 0..100 {
+            quadratic_step(&mut params, w, |p, g| opt.step(p, g));
+        }
+        assert!((params.get(w).get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Mat::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            last = quadratic_step(&mut params, w, |p, g| opt.step(p, g));
+        }
+        assert!(last < 1e-4, "final loss {last}");
+        assert!((params.get(w).get(0, 0) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn paramset_bookkeeping() {
+        let mut p = ParamSet::new();
+        assert!(p.is_empty());
+        let a = p.add("a", Mat::zeros(2, 3));
+        let b = p.add("b", Mat::zeros(1, 4));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.name(b), "b");
+        assert_eq!(p.scalar_count(), 10);
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unregularized_optimum() {
+        // With strong decay the fitted weight settles below the target.
+        let fit = |decay: f32| {
+            let mut params = ParamSet::new();
+            let w = params.add("w", Mat::zeros(1, 1));
+            let mut opt = Adam::new(0.05).with_weight_decay(decay);
+            for _ in 0..500 {
+                quadratic_step(&mut params, w, |p, g| opt.step(p, g));
+            }
+            params.get(w).get(0, 0)
+        };
+        let plain = fit(0.0);
+        let decayed = fit(0.5);
+        assert!((plain - 3.0).abs() < 0.05);
+        assert!(decayed < plain - 0.05, "decay must pull weights down: {decayed} vs {plain}");
+    }
+
+    #[test]
+    fn adam_handles_sparse_param_usage() {
+        // Only one of two params receives gradients; state must not mix up.
+        let mut params = ParamSet::new();
+        let _unused = params.add("unused", Mat::full(1, 1, 5.0));
+        let w = params.add("w", Mat::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            quadratic_step(&mut params, w, |p, g| opt.step(p, g));
+        }
+        assert!((params.get(w).get(0, 0) - 3.0).abs() < 0.05);
+        assert_eq!(params.get(0).get(0, 0), 5.0);
+    }
+}

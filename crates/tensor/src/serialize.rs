@@ -1,0 +1,160 @@
+//! Binary save/load for [`ParamSet`] — a tiny self-contained format so the
+//! workspace needs no serialization stack.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  b"WTPS"
+//! u32    version (1)
+//! u32    parameter count
+//! repeat:
+//!   u32        name length, then UTF-8 name bytes
+//!   u32 u32    rows, cols
+//!   f32 * n    row-major data
+//! ```
+
+use crate::{Mat, ParamSet, TensorError};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"WTPS";
+const VERSION: u32 = 1;
+
+/// Writes a parameter set to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TensorError::Io`].
+pub fn save<W: Write>(params: &ParamSet, mut w: W) -> Result<(), TensorError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, mat) in params.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(mat.rows() as u32).to_le_bytes())?;
+        w.write_all(&(mat.cols() as u32).to_le_bytes())?;
+        for v in mat.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, TensorError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads a parameter set from `r`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BadFormat`] on a wrong magic, version, or
+/// truncated payload, and [`TensorError::Io`] on read failures.
+pub fn load<R: Read>(mut r: R) -> Result<ParamSet, TensorError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TensorError::BadFormat("wrong magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(TensorError::BadFormat(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut params = ParamSet::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(TensorError::BadFormat("absurd name length".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| TensorError::BadFormat("name is not UTF-8".into()))?;
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        if rows.saturating_mul(cols) > 1 << 28 {
+            return Err(TensorError::BadFormat("absurd matrix size".into()));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        params.add(name, Mat::from_vec(rows, cols, data)?);
+    }
+    Ok(params)
+}
+
+/// Saves a parameter set to a file path.
+///
+/// # Errors
+///
+/// See [`save`].
+pub fn save_file(params: &ParamSet, path: impl AsRef<std::path::Path>) -> Result<(), TensorError> {
+    let f = std::fs::File::create(path)?;
+    save(params, std::io::BufWriter::new(f))
+}
+
+/// Loads a parameter set from a file path.
+///
+/// # Errors
+///
+/// See [`load`].
+pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<ParamSet, TensorError> {
+    let f = std::fs::File::open(path)?;
+    load(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{xavier, InitRng};
+
+    #[test]
+    fn round_trip() {
+        let mut rng = InitRng::new(3);
+        let mut p = ParamSet::new();
+        p.add("layer0/w", xavier(3, 4, &mut rng));
+        p.add("layer0/b", Mat::zeros(1, 4));
+        p.add("head", xavier(4, 1, &mut rng));
+
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        let q = load(buf.as_slice()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(TensorError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let mut p = ParamSet::new();
+        p.add("w", Mat::zeros(2, 2));
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let p = ParamSet::new();
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        let q = load(buf.as_slice()).unwrap();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based gradient checks: random shapes and values through
+//! composite tape programs must match central finite differences.
+
+use proptest::prelude::*;
+use tensor::{Mat, Tape, Var};
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-0.9f32..0.9, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v).expect("sized"))
+}
+
+/// Checks analytic vs numeric gradients of a scalar-valued builder.
+fn grad_check<F>(input: &Mat, build: F) -> Result<(), TestCaseError>
+where
+    F: Fn(&mut Tape, Var) -> Var,
+{
+    let mut tape = Tape::new();
+    let x = tape.param(0, input.clone());
+    let loss = build(&mut tape, x);
+    tape.backward(loss);
+    let analytic = tape.grad(x).clone();
+
+    let h = 2e-2f32;
+    for k in 0..input.as_slice().len() {
+        let eval = |delta: f32| {
+            let mut m = input.clone();
+            m.as_mut_slice()[k] += delta;
+            let mut t = Tape::new();
+            let x = t.constant(m);
+            let l = build(&mut t, x);
+            t.value(l).get(0, 0)
+        };
+        let numeric = (eval(h) - eval(-h)) / (2.0 * h);
+        let a = analytic.as_slice()[k];
+        let tol = 5e-2 * (1.0 + a.abs().max(numeric.abs()));
+        prop_assert!(
+            (a - numeric).abs() < tol,
+            "element {k}: analytic {a} vs numeric {numeric}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn composite_linear_relu_chain(rows in 1usize..4, cols in 1usize..4,
+                                   x in mat_strategy(3, 3)) {
+        // Shapes vary through the weight; x fixed 3x3.
+        let w = Mat::full(3, cols.max(1), 0.3);
+        let _ = rows;
+        grad_check(&x, move |t, xv| {
+            let wv = t.constant(w.clone());
+            let y = t.matmul(xv, wv);
+            let y = t.relu(y);
+            let target = Mat::full(3, w.cols(), 0.1);
+            t.mse_loss(y, &target)
+        })?;
+    }
+
+    #[test]
+    fn softmax_attention_block(x in mat_strategy(4, 4)) {
+        grad_check(&x, |t, xv| {
+            let kt = t.transpose(xv);
+            let scores = t.matmul(xv, kt);
+            let scores = t.scale(scores, 0.5);
+            let attn = t.softmax_rows(scores);
+            let out = t.matmul(attn, xv);
+            t.mse_loss(out, &Mat::zeros(4, 4))
+        })?;
+    }
+
+    #[test]
+    fn pooling_pipeline(x in mat_strategy(5, 3)) {
+        grad_check(&x, |t, xv| {
+            let gathered = t.gather_rows(xv, &[0, 2, 4, 2]);
+            let pooled = t.mean_rows(gathered);
+            let other = t.constant(Mat::full(1, 2, 0.2));
+            let cat = t.concat_cols(pooled, other);
+            t.mse_loss(cat, &Mat::zeros(1, 5))
+        })?;
+    }
+
+    #[test]
+    fn layer_norm_then_tanh(x in mat_strategy(3, 6)) {
+        grad_check(&x, |t, xv| {
+            let n = t.layer_norm_rows(xv, 1e-5);
+            let y = t.tanh(n);
+            t.mse_loss(y, &Mat::full(3, 6, 0.05))
+        })?;
+    }
+
+    #[test]
+    fn backward_is_repeatable(x in mat_strategy(3, 3)) {
+        // Two backward passes through identical tapes give identical grads.
+        let run = || {
+            let mut t = Tape::new();
+            let xv = t.param(0, x.clone());
+            let s = t.sigmoid(xv);
+            let l = t.mse_loss(s, &Mat::zeros(3, 3));
+            t.backward(l);
+            t.grad(xv).clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,46 @@
+//! Clock-tree skew analysis: time every leaf of a balanced H-tree with
+//! the golden simulator and report the insertion delay and skew — the
+//! many-sink stress case for per-path wire timing.
+//!
+//! ```text
+//! cargo run --release --example clock_skew
+//! ```
+
+use netgen::special::clock_htree;
+use netgen::TechProfile;
+use rcnet::{Ohms, Seconds};
+use rcsim::{GoldenTimer, SiMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechProfile::n16();
+    let timer = GoldenTimer::new(tech.vdd, Ohms(90.0));
+
+    println!("levels  sinks  insertion(ps)  skew(ps)  slew-spread(ps)");
+    for levels in 2..=6u32 {
+        let net = clock_htree(&format!("clk{levels}"), levels, &tech, 42);
+        let timing = timer.time_net(&net, Seconds::from_ps(18.0), SiMode::Off)?;
+        let delays: Vec<f64> = timing.iter().map(|t| t.delay.pico_seconds()).collect();
+        let slews: Vec<f64> = timing.iter().map(|t| t.slew.pico_seconds()).collect();
+        let fold = |xs: &[f64]| {
+            (
+                xs.iter().copied().fold(f64::INFINITY, f64::min),
+                xs.iter().copied().fold(0.0f64, f64::max),
+            )
+        };
+        let (d_min, d_max) = fold(&delays);
+        let (s_min, s_max) = fold(&slews);
+        println!(
+            "  {levels}     {:>4}     {:8.2}    {:7.3}       {:6.3}",
+            timing.len(),
+            d_max,
+            d_max - d_min,
+            s_max - s_min
+        );
+    }
+    println!(
+        "\nInsertion delay grows with depth while skew stays small — the \
+         balanced H-tree\nproperty (the residual skew comes from the \
+         generator's 2% OCV jitter)."
+    );
+    Ok(())
+}

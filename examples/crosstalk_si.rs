@@ -1,0 +1,54 @@
+//! Crosstalk study: how coupling capacitance shifts wire delay (the "SI
+//! mode" the golden labels include), swept over coupling strength.
+//!
+//! ```text
+//! cargo run --release --example crosstalk_si
+//! ```
+
+use rcnet::{Farads, Ohms, RcNetBuilder, Seconds};
+use rcsim::{GoldenTimer, SiMode};
+
+fn victim(coupling_ff: f64) -> rcnet::RcNet {
+    let mut b = RcNetBuilder::new("victim");
+    let s = b.source("drv:Z", Farads::from_ff(0.8));
+    let m = b.internal("victim:1", Farads::from_ff(2.0));
+    let k = b.sink("load:A", Farads::from_ff(2.5));
+    b.resistor(s, m, Ohms(300.0));
+    b.resistor(m, k, Ohms(300.0));
+    if coupling_ff > 0.0 {
+        b.coupling(m, "aggressor:5", Farads::from_ff(coupling_ff / 2.0));
+        b.coupling(k, "aggressor:6", Farads::from_ff(coupling_ff / 2.0));
+    }
+    b.build().expect("victim net is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let timer = GoldenTimer::new(0.8, Ohms(140.0));
+    let input_slew = Seconds::from_ps(25.0);
+    let si = SiMode::WorstCase {
+        aggressor_ramp: Seconds::from_ps(25.0),
+    };
+
+    println!("coupling  quiet-delay  noisy-delay  delta   quiet-slew  noisy-slew");
+    println!("  (fF)       (ps)         (ps)      (ps)       (ps)        (ps)");
+    for coupling_ff in [0.0, 1.0, 2.0, 4.0, 8.0, 12.0] {
+        let net = victim(coupling_ff);
+        let quiet = timer.time_net(&net, input_slew, SiMode::Off)?;
+        let noisy = timer.time_net(&net, input_slew, si)?;
+        let (q, n) = (&quiet[0], &noisy[0]);
+        println!(
+            "  {coupling_ff:4.1}     {:8.2}     {:8.2}   {:+6.2}     {:8.2}    {:8.2}",
+            q.delay.pico_seconds(),
+            n.delay.pico_seconds(),
+            n.delay.pico_seconds() - q.delay.pico_seconds(),
+            q.slew.pico_seconds(),
+            n.slew.pico_seconds()
+        );
+    }
+    println!(
+        "\nOpposite-switching aggressors inject charge against the victim \
+         edge through the\ncoupling capacitance: delay grows monotonically \
+         with the coupling — the delta\nthe paper's PrimeTime-SI labels carry."
+    );
+    Ok(())
+}

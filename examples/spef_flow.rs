@@ -1,0 +1,70 @@
+//! SPEF ingestion flow: write extracted parasitics to a SPEF file, parse
+//! it back (as if it came from StarRC), and time every wire path of
+//! every net — the estimator consuming real-world-format input.
+//!
+//! ```text
+//! cargo run --release --example spef_flow
+//! ```
+
+use gnntrans::dataset::DatasetBuilder;
+use gnntrans::estimator::{EstimatorConfig, WireTimingEstimator};
+use netgen::nets::{NetConfig, NetGenerator};
+use rcnet::spef::{parse, write, SpefHeader};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pretend these came from a router + extractor.
+    let mut generator = NetGenerator::new(11, NetConfig::default());
+    let extracted: Vec<_> = (0..60)
+        .map(|i| generator.net(format!("blk/n{i}"), i % 4 == 0))
+        .collect();
+
+    // Serialize to SPEF and round-trip through the parser.
+    let header = SpefHeader {
+        design: "spef_flow_demo".into(),
+        ..Default::default()
+    };
+    let spef_text = write(&header, &extracted);
+    let path = std::env::temp_dir().join("spef_flow_demo.spef");
+    std::fs::write(&path, &spef_text)?;
+    println!(
+        "wrote {} ({} bytes, {} nets)",
+        path.display(),
+        spef_text.len(),
+        extracted.len()
+    );
+
+    let doc = parse(&std::fs::read_to_string(&path)?)?;
+    println!(
+        "parsed back: design `{}`, {} nets",
+        doc.header.design,
+        doc.nets.len()
+    );
+
+    // Train on the first 50 parsed nets, report timing on the rest.
+    let mut builder = DatasetBuilder::new(3);
+    let data = builder.build(&doc.nets[..50])?;
+    let mut cfg = EstimatorConfig::plan_b_small();
+    cfg.epochs = 20;
+    let mut estimator = WireTimingEstimator::new(&cfg, 5);
+    estimator.train(&data)?;
+
+    println!("\nwire timing of held-out nets:");
+    for net in &doc.nets[50..] {
+        let ctx = builder.context_for(net);
+        let estimates = estimator.predict_net(net, &ctx)?;
+        let worst = estimates
+            .iter()
+            .max_by(|a, b| a.delay.value().total_cmp(&b.delay.value()))
+            .expect("every net has at least one path");
+        println!(
+            "  {:<10} {:>2} paths: worst delay {:6.2} ps (sink {}), slew {:6.2} ps",
+            net.name(),
+            estimates.len(),
+            worst.delay.pico_seconds(),
+            net.node(worst.sink).name,
+            worst.slew.pico_seconds()
+        );
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,174 @@
+//! Cross-crate physics checks: the golden simulator, the analytical
+//! metrics and the generated nets must agree on circuit-theory facts.
+
+use elmore::WireAnalysis;
+use netgen::nets::{NetConfig, NetGenerator};
+use rcnet::{Farads, Ohms, RcNet, RcNetBuilder, Seconds};
+use rcsim::{GoldenTimer, SiMode};
+
+fn random_nets(count: usize, seed: u64) -> Vec<RcNet> {
+    let cfg = NetConfig {
+        nodes_min: 5,
+        nodes_max: 24,
+        ..Default::default()
+    };
+    let mut g = NetGenerator::new(seed, cfg);
+    (0..count)
+        .map(|i| g.net(format!("p{i}"), i % 2 == 0))
+        .collect()
+}
+
+#[test]
+fn golden_delay_bracketed_by_moment_metrics() {
+    // For every random net and sink: D2M is a reasonable lower-side
+    // estimate and raw Elmore an upper bound of the 50% delay; the golden
+    // number must land within a generous bracket of the Elmore bound.
+    let timer = GoldenTimer::new(0.8, Ohms(140.0));
+    for net in random_nets(12, 3) {
+        let wa = WireAnalysis::new(&net).expect("analysis");
+        let timing = timer
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .expect("simulation");
+        for (t, path) in timing.iter().zip(net.paths()) {
+            let elmore = wa.path_elmore(path).value();
+            assert!(
+                t.delay.value() <= elmore * 1.3 + 2e-13,
+                "net {} sink {}: golden {} vs elmore {}",
+                net.name(),
+                t.sink,
+                t.delay.value(),
+                elmore
+            );
+        }
+    }
+}
+
+#[test]
+fn scaling_all_capacitance_scales_delay() {
+    // Doubling every capacitance of a linear RC network doubles every
+    // time constant: golden delays must grow accordingly (with the driver
+    // ramp adding a sub-linear floor).
+    let build = |scale: f64| {
+        let mut b = RcNetBuilder::new("s");
+        let s = b.source("s", Farads(1e-15 * scale));
+        let m = b.internal("m", Farads(6e-15 * scale));
+        let k = b.sink("k", Farads(6e-15 * scale));
+        b.resistor(s, m, Ohms(400.0));
+        b.resistor(m, k, Ohms(400.0));
+        b.build().expect("valid")
+    };
+    let timer = GoldenTimer::new(0.8, Ohms(140.0));
+    let base = timer
+        .time_net(&build(1.0), Seconds::from_ps(10.0), SiMode::Off)
+        .expect("base")[0]
+        .delay
+        .value();
+    let doubled = timer
+        .time_net(&build(2.0), Seconds::from_ps(10.0), SiMode::Off)
+        .expect("doubled")[0]
+        .delay
+        .value();
+    assert!(
+        doubled > base * 1.6 && doubled < base * 2.4,
+        "base {base}, doubled {doubled}"
+    );
+}
+
+#[test]
+fn si_noise_never_speeds_up_the_victim() {
+    let timer = GoldenTimer::new(0.8, Ohms(140.0));
+    for net in random_nets(10, 7) {
+        if net.couplings().is_empty() {
+            continue;
+        }
+        let quiet = timer
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .expect("quiet");
+        let noisy = timer
+            .time_net(
+                &net,
+                Seconds::from_ps(20.0),
+                SiMode::WorstCase {
+                    aggressor_ramp: Seconds::from_ps(20.0),
+                },
+            )
+            .expect("noisy");
+        for (q, n) in quiet.iter().zip(&noisy) {
+            assert!(
+                n.delay.value() >= q.delay.value() - 1e-13,
+                "net {}: opposite aggressor must not speed up the victim",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sink_order_matches_path_order_everywhere() {
+    let timer = GoldenTimer::new(0.8, Ohms(140.0));
+    for net in random_nets(8, 11) {
+        let timing = timer
+            .time_net(&net, Seconds::from_ps(15.0), SiMode::Off)
+            .expect("simulation");
+        assert_eq!(timing.len(), net.paths().len());
+        for (t, p) in timing.iter().zip(net.paths()) {
+            assert_eq!(t.sink, p.sink);
+        }
+    }
+}
+
+#[test]
+fn reduction_preserves_golden_timing_within_tolerance() {
+    // Series-merged networks must time the same paths to nearly the same
+    // delays: reduction is an accuracy-preserving transformation.
+    use rcnet::reduce::{merge_series, ReduceOptions};
+    let timer = GoldenTimer::new(0.8, Ohms(140.0)).with_steps(3000);
+    let mut checked = 0;
+    for net in random_nets(8, 23) {
+        let reduced = merge_series(&net, ReduceOptions::default()).expect("reduction");
+        if reduced.merged == 0 {
+            continue;
+        }
+        let full = timer
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .expect("full sim");
+        let red = timer
+            .time_net(&reduced.net, Seconds::from_ps(20.0), SiMode::Off)
+            .expect("reduced sim");
+        assert_eq!(full.len(), red.len());
+        for (f, r) in full.iter().zip(&red) {
+            let tol = 0.25 * f.delay.value().max(2e-13);
+            assert!(
+                (f.delay.value() - r.delay.value()).abs() < tol,
+                "net {}: full {} vs reduced {}",
+                net.name(),
+                f.delay.value(),
+                r.delay.value()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "reduction must trigger on generated nets");
+}
+
+#[test]
+fn exact_elmore_equals_tree_elmore_on_generated_trees() {
+    let cfg = NetConfig {
+        nodes_min: 5,
+        nodes_max: 30,
+        ..Default::default()
+    };
+    let mut g = NetGenerator::new(19, cfg);
+    for i in 0..10 {
+        let net = g.tree_net(format!("t{i}"));
+        let wa = WireAnalysis::new(&net).expect("analysis");
+        for path in net.paths() {
+            let exact = wa.path_elmore(path).value();
+            let tree = wa.tree_path_elmore(path).value();
+            assert!(
+                (exact - tree).abs() <= 1e-9 * exact.abs() + 1e-25,
+                "net {i}: exact {exact} vs tree {tree}"
+            );
+        }
+    }
+}
