@@ -19,6 +19,11 @@ use gnntrans::metrics::Evaluator;
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("ablation", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     eprintln!("[ablation] building datasets (scale {})...", cfg.scale);
     let train_data = build_train_dataset(&cfg).expect("train data");
     let tests = build_test_samples(&cfg).expect("test data");

@@ -22,6 +22,11 @@ use netgen::TechProfile;
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("clocktree", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     let tech = TechProfile::n16();
     let builder = DatasetBuilder::new(cfg.seed);
 

@@ -11,6 +11,11 @@ use netgen::nets::{NetConfig, NetGenerator};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("fig1_paths", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
 
     // Fig. 2(a): #paths vs #gates on random netlists (ISCAS89-like
     // reconvergent DAGs). The paper reports >1M paths at 10k gates.

@@ -12,6 +12,11 @@ use netgen::nets::NetConfig;
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("fig2_stats", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     // The paper's "open-source circuit with 200k nets" is mirrored by the
     // largest test design (OPENGFX, 231 934 nets) at the chosen scale,
     // with the sink cap raised to the paper's observed ceiling.

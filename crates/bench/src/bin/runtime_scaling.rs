@@ -18,6 +18,11 @@ use std::time::Instant;
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("runtime_scaling", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     let net_cfg = NetConfig {
         nodes_min: 6,
         nodes_max: 36,
@@ -53,7 +58,7 @@ fn main() {
 
         let start = Instant::now();
         let out = est
-            .predict_many(nets.iter().zip(contexts.iter()).map(|(n, c)| (n, c)))
+            .predict_many(nets.iter().zip(contexts.iter()))
             .expect("inference");
         let secs = start.elapsed().as_secs_f64();
         assert_eq!(out.len(), count);

@@ -10,6 +10,11 @@ use netgen::designs::{generate_design, paper_roster};
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("table2", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     let mut t = TableWriter::new(
         format!("TABLE II — benchmark statistics (generated at scale {})", cfg.scale),
         &[

@@ -12,6 +12,11 @@ use bench::ExperimentConfig;
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("table3", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     match run_accuracy_table(&cfg, true) {
         Ok(table) => {
             println!("{table}");

@@ -76,6 +76,11 @@ fn arrivals_ps<T: WireTimer>(
 
 fn main() {
     let cfg = ExperimentConfig::from_args(std::env::args().skip(1));
+    let report_cfg = cfg.clone();
+    bench::run_experiment("table5", &report_cfg, move || run(cfg));
+}
+
+fn run(cfg: ExperimentConfig) {
     let lib = CellLibrary::builtin();
     let input_slew = Seconds::from_ps(25.0);
 

@@ -9,7 +9,7 @@ use netgen::designs::{generate_design, paper_roster, DesignSpec};
 use netgen::nets::NetConfig;
 
 /// Knobs shared by every experiment binary, overridable from the command
-/// line (`--scale`, `--seed`, `--epochs`, `--quick`).
+/// line (`--scale`, `--seed`, `--epochs`, `--quick`, `--obs-json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Fraction of each paper design's net count to generate.
@@ -20,6 +20,9 @@ pub struct ExperimentConfig {
     pub epochs: usize,
     /// Baseline search depth `L` (the paper uses 20).
     pub baseline_layers: usize,
+    /// Where to write the observability run report (`--obs-json <path>`;
+    /// `None` disables the report).
+    pub obs_json: Option<String>,
 }
 
 impl Default for ExperimentConfig {
@@ -29,6 +32,34 @@ impl Default for ExperimentConfig {
             seed: 2023,
             epochs: 40,
             baseline_layers: 6,
+            obs_json: None,
+        }
+    }
+}
+
+/// Parses one flag value, warning (and leaving the default in place)
+/// when the value is missing or malformed.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Option<T> {
+    let Some(raw) = value else {
+        obs::event!(
+            obs::Level::Warn,
+            "bench.harness",
+            "flag is missing its value; keeping default",
+            flag = flag,
+        );
+        return None;
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            obs::event!(
+                obs::Level::Warn,
+                "bench.harness",
+                "rejecting malformed flag value; keeping default",
+                flag = flag,
+                value = raw,
+            );
+            None
         }
     }
 }
@@ -36,34 +67,43 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// Parses `--scale X --seed N --epochs N --quick` style arguments;
     /// unknown arguments are ignored so binaries can add their own.
+    /// Malformed values (e.g. `--epochs abc`) emit a warn-level obs event
+    /// naming the flag and the rejected value, and keep the default.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut cfg = ExperimentConfig::default();
         let argv: Vec<String> = args.into_iter().collect();
         let mut i = 0;
         while i < argv.len() {
+            let flag = argv[i].as_str();
             let value = argv.get(i + 1);
-            match argv[i].as_str() {
+            match flag {
                 "--scale" => {
-                    if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    if let Some(v) = parse_flag(flag, value) {
                         cfg.scale = v;
                         i += 1;
                     }
                 }
                 "--seed" => {
-                    if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    if let Some(v) = parse_flag(flag, value) {
                         cfg.seed = v;
                         i += 1;
                     }
                 }
                 "--epochs" => {
-                    if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    if let Some(v) = parse_flag(flag, value) {
                         cfg.epochs = v;
                         i += 1;
                     }
                 }
                 "--layers" => {
-                    if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    if let Some(v) = parse_flag(flag, value) {
                         cfg.baseline_layers = v;
+                        i += 1;
+                    }
+                }
+                "--obs-json" => {
+                    if let Some(v) = parse_flag::<String>(flag, value) {
+                        cfg.obs_json = Some(v);
                         i += 1;
                     }
                 }
@@ -89,17 +129,54 @@ impl ExperimentConfig {
     }
 }
 
+/// Runs an experiment body inside a root span named `name`, publishing
+/// the shared knobs as gauges, then writes the observability run report
+/// when `--obs-json` was given.
+pub fn run_experiment(name: &str, cfg: &ExperimentConfig, body: impl FnOnce()) {
+    obs::gauge("bench.experiment.scale").set(cfg.scale);
+    obs::gauge("bench.experiment.seed").set(cfg.seed as f64);
+    obs::gauge("bench.experiment.epochs").set(cfg.epochs as f64);
+    obs::gauge("bench.experiment.baseline_layers").set(cfg.baseline_layers as f64);
+    let wall = std::time::Instant::now();
+    obs::with_span(name, body);
+    obs::gauge_labeled("bench.experiment.wall_seconds", Some(name))
+        .set(wall.elapsed().as_secs_f64());
+    write_obs_report(cfg);
+}
+
+/// Captures the global span/metric state and writes it to the path
+/// configured by `--obs-json` (no-op when unset).
+pub fn write_obs_report(cfg: &ExperimentConfig) {
+    let Some(path) = &cfg.obs_json else {
+        return;
+    };
+    let report = obs::RunReport::capture();
+    match report.write_file(path) {
+        Ok(()) => obs::event!(
+            obs::Level::Info,
+            "bench.harness",
+            "obs run report written",
+            path = path.as_str(),
+        ),
+        // A requested report that cannot be written is a real failure;
+        // report it regardless of the obs level.
+        Err(e) => eprintln!("failed to write obs run report to {path}: {e}"),
+    }
+}
+
 /// Generates the training roster and builds the labelled dataset.
 ///
 /// # Errors
 ///
 /// Propagates golden-simulation failures.
 pub fn build_train_dataset(cfg: &ExperimentConfig) -> Result<Dataset, CoreError> {
+    let _span = obs::span("train_data");
     let mut nets = Vec::new();
     for spec in paper_roster().iter().filter(|d| d.train) {
         let design = generate_design(spec, cfg.scale, cfg.seed, cfg.net_config());
         nets.extend(design.nets);
     }
+    obs::counter("bench.harness.train_nets").add(nets.len() as u64);
     DatasetBuilder::new(cfg.seed).build(&nets)
 }
 
@@ -112,6 +189,7 @@ pub fn build_train_dataset(cfg: &ExperimentConfig) -> Result<Dataset, CoreError>
 pub fn build_test_samples(
     cfg: &ExperimentConfig,
 ) -> Result<Vec<(DesignSpec, Vec<Sample>)>, CoreError> {
+    let _span = obs::span("test_data");
     let builder = DatasetBuilder::new(cfg.seed);
     // Test rows are cheap (no training), so generate 3x the training
     // scale to stabilize the per-design R² estimates.
@@ -150,6 +228,7 @@ pub fn train_baselines(
         Box::new(GatNet::new(&bcfg, cfg.seed)),
         Box::new(GraphTransformerNet::new(&bcfg, cfg.seed)),
     ];
+    let _span = obs::span("baselines");
     let batches = data.batches()?;
     for m in &mut models {
         // The pure transformer is the most sensitive to learning rate
@@ -224,5 +303,49 @@ mod tests {
     fn unknown_args_ignored() {
         let cfg = ExperimentConfig::from_args(["--bogus".to_string(), "7".to_string()]);
         assert_eq!(cfg, ExperimentConfig::default());
+    }
+
+    #[test]
+    fn obs_json_flag_parses() {
+        let cfg = ExperimentConfig::from_args(
+            ["--obs-json", "/tmp/report.json", "--quick"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.obs_json.as_deref(), Some("/tmp/report.json"));
+    }
+
+    #[test]
+    fn malformed_value_warns_and_keeps_default() {
+        use std::sync::{Arc, Mutex};
+
+        struct Capture(Mutex<Vec<String>>);
+        impl obs::Sink for Capture {
+            fn emit(&self, e: &obs::Event<'_>) {
+                self.0.lock().unwrap().push(obs::JsonlSink::render(e));
+            }
+        }
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        obs::set_sinks(vec![cap.clone()]);
+        obs::set_level(obs::Level::Warn);
+
+        let cfg = ExperimentConfig::from_args(
+            ["--epochs", "abc", "--scale", "0.001"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        obs::set_sinks(vec![Arc::new(obs::StderrSink)]);
+
+        // The malformed value left the default in place; later flags
+        // still applied.
+        assert_eq!(cfg.epochs, ExperimentConfig::default().epochs);
+        assert_eq!(cfg.scale, 0.001);
+        let lines = cap.0.lock().unwrap();
+        let warn = lines
+            .iter()
+            .find(|l| l.contains("--epochs"))
+            .expect("a warning naming the flag");
+        assert!(warn.contains("\"value\":\"abc\""), "{warn}");
+        assert!(warn.contains("\"level\":\"warn\""), "{warn}");
     }
 }

@@ -7,6 +7,7 @@ pub mod harness;
 pub mod tables;
 
 pub use harness::{
-    build_test_samples, build_train_dataset, eval_baseline, train_baselines, ExperimentConfig,
+    build_test_samples, build_train_dataset, eval_baseline, run_experiment, train_baselines,
+    write_obs_report, ExperimentConfig,
 };
 pub use tables::TableWriter;

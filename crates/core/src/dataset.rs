@@ -196,10 +196,15 @@ impl DatasetBuilder {
     ///
     /// Propagates golden-simulation and analysis failures.
     pub fn sample_for(&self, net: &RcNet) -> Result<Sample, CoreError> {
+        let _span = obs::span("sample");
         let ctx = self.context_for(net);
-        let wa = WireAnalysis::new(net)?;
-        let node_feats = features::node_features(net, &wa, &ctx);
-        let path_feats = features::all_path_features(net, &wa, &ctx);
+        let (node_feats, path_feats) = {
+            let _s = obs::span("features");
+            let wa = WireAnalysis::new(net)?;
+            let node_feats = features::node_features(net, &wa, &ctx);
+            let path_feats = features::all_path_features(net, &wa, &ctx);
+            (node_feats, path_feats)
+        };
         debug_assert_eq!(node_feats.cols(), NODE_DIM);
         debug_assert!(path_feats.iter().all(|f| f.cols() == PATH_DIM));
 
@@ -212,7 +217,11 @@ impl DatasetBuilder {
             }
         };
         let timer = GoldenTimer::new(self.vdd, ctx.drive_res).with_steps(self.sim_steps);
-        let timing = timer.time_net(net, ctx.input_slew, si)?;
+        let timing = {
+            let _s = obs::span("golden");
+            timer.time_net(net, ctx.input_slew, si)?
+        };
+        obs::counter("gnntrans.dataset.samples").inc();
         let mut targets = Mat::zeros(timing.len(), 2);
         for (i, t) in timing.iter().enumerate() {
             targets.set(i, 0, t.slew.pico_seconds() as f32);
@@ -240,9 +249,18 @@ impl DatasetBuilder {
     ///
     /// Propagates per-net failures and empty-input rejection.
     pub fn build(&mut self, nets: &[RcNet]) -> Result<Dataset, CoreError> {
+        let _span = obs::span("dataset_build");
         let samples: Result<Vec<Sample>, CoreError> =
             nets.iter().map(|n| self.sample_for(n)).collect();
-        Dataset::from_samples(samples?)
+        let ds = Dataset::from_samples(samples?)?;
+        obs::event!(
+            obs::Level::Info,
+            "gnntrans.dataset",
+            "dataset built",
+            nets = nets.len(),
+            samples = ds.samples.len(),
+        );
+        Ok(ds)
     }
 }
 

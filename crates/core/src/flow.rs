@@ -60,6 +60,9 @@ pub struct FlowReport {
     pub total_paths: usize,
     /// Nodes eliminated by reduction (0 when disabled).
     pub reduced_nodes: usize,
+    /// Wall time of each flow stage in execution order:
+    /// `parse`, `reduce`, `features`, `inference`.
+    pub stage_seconds: Vec<(String, f64)>,
 }
 
 impl FlowReport {
@@ -71,6 +74,13 @@ impl FlowReport {
             "timed {} nets / {} wire paths ({} nodes reduced)",
             self.total_nets, self.total_paths, self.reduced_nodes
         );
+        if !self.stage_seconds.is_empty() {
+            let _ = write!(out, "stage times:");
+            for (stage, secs) in &self.stage_seconds {
+                let _ = write!(out, " {stage} {:.1}ms", secs * 1e3);
+            }
+            let _ = writeln!(out);
+        }
         let _ = writeln!(out, "{:<24} {:>6} {:>12} {:>12}  sink", "net", "paths", "delay(ps)", "slew(ps)");
         for r in &self.nets {
             let _ = writeln!(
@@ -98,30 +108,48 @@ pub fn time_spef(
     estimator: &WireTimingEstimator,
     opts: &FlowOptions,
 ) -> Result<FlowReport, CoreError> {
-    let doc = rcnet::spef::parse(spef_text).map_err(|e| CoreError::BadInput(e.to_string()))?;
+    let _flow_span = obs::span("flow");
+    let mut stage_start = std::time::Instant::now();
+    let mut stage_seconds: Vec<(String, f64)> = Vec::with_capacity(4);
+    let mut end_stage = |name: &str, start: &mut std::time::Instant| {
+        stage_seconds.push((name.to_string(), start.elapsed().as_secs_f64()));
+        *start = std::time::Instant::now();
+    };
+
+    let doc = obs::with_span("parse", || rcnet::spef::parse(spef_text))
+        .map_err(|e| CoreError::BadInput(e.to_string()))?;
+    end_stage("parse", &mut stage_start);
     let builder = DatasetBuilder::new(opts.context_seed);
 
     let mut reduced_nodes = 0usize;
-    let nets: Vec<RcNet> = doc
-        .nets
-        .into_iter()
-        .map(|net| {
-            if opts.reduce {
-                let r = merge_series(&net, ReduceOptions::default())
-                    .map_err(|e| CoreError::BadInput(e.to_string()))?;
-                reduced_nodes += r.merged;
-                Ok(r.net)
-            } else {
-                Ok(net)
-            }
-        })
-        .collect::<Result<_, CoreError>>()?;
+    let nets: Vec<RcNet> = obs::with_span("reduce", || {
+        doc.nets
+            .into_iter()
+            .map(|net| {
+                if opts.reduce {
+                    let r = merge_series(&net, ReduceOptions::default())
+                        .map_err(|e| CoreError::BadInput(e.to_string()))?;
+                    reduced_nodes += r.merged;
+                    Ok(r.net)
+                } else {
+                    Ok(net)
+                }
+            })
+            .collect::<Result<_, CoreError>>()
+    })?;
+    end_stage("reduce", &mut stage_start);
 
     let mut rows = Vec::new();
     let mut total_paths = 0usize;
+    let mut feature_secs = 0.0f64;
+    let mut inference_secs = 0.0f64;
     for net in &nets {
-        let ctx: NetContext = builder.context_for(net);
-        let estimates = estimator.predict_net(net, &ctx)?;
+        let t = std::time::Instant::now();
+        let ctx: NetContext = obs::with_span("features", || builder.context_for(net));
+        feature_secs += t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        let estimates = obs::with_span("inference", || estimator.predict_net(net, &ctx))?;
+        inference_secs += t.elapsed().as_secs_f64();
         total_paths += estimates.len();
         let worst = estimates
             .iter()
@@ -138,11 +166,24 @@ pub fn time_spef(
         }
     }
     rows.sort_by(|a, b| b.worst_delay.value().total_cmp(&a.worst_delay.value()));
+    stage_seconds.push(("features".to_string(), feature_secs));
+    stage_seconds.push(("inference".to_string(), inference_secs));
+    obs::counter("gnntrans.flow.nets").add(nets.len() as u64);
+    obs::counter("gnntrans.flow.paths").add(total_paths as u64);
+    obs::event!(
+        obs::Level::Info,
+        "gnntrans.flow",
+        "timed SPEF document",
+        nets = nets.len(),
+        paths = total_paths,
+        reduced_nodes = reduced_nodes,
+    );
     Ok(FlowReport {
         nets: rows,
         total_nets: nets.len(),
         total_paths,
         reduced_nodes,
+        stage_seconds,
     })
 }
 
@@ -186,6 +227,11 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("timed 5 nets"));
         assert!(rendered.contains(&report.nets[0].net));
+        // Stage wall times are reported in execution order.
+        let stages: Vec<&str> = report.stage_seconds.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(stages, ["parse", "reduce", "features", "inference"]);
+        assert!(report.stage_seconds.iter().all(|(_, s)| *s >= 0.0));
+        assert!(rendered.contains("stage times:"));
     }
 
     #[test]

@@ -4,11 +4,11 @@ use rcnet::Seconds;
 
 /// Natural log of 9, the 10 %–90 % width of a single-pole exponential in
 /// units of its time constant.
-pub const LN9: f64 = 2.197224577336220;
+pub const LN9: f64 = 2.197_224_577_336_22;
 
 /// Natural log of 2, the 50 % crossing of a single-pole exponential in
 /// units of its time constant.
-pub const LN2: f64 = 0.693147180559945;
+pub const LN2: f64 = std::f64::consts::LN_2;
 
 /// Elmore 50 % delay estimate from the first moment: `ln 2 * (-m1)`.
 ///

@@ -46,9 +46,9 @@ impl Moments {
         // Map full node index -> reduced index (source removed).
         let mut reduced = vec![usize::MAX; n];
         let mut r = 0usize;
-        for i in 0..n {
+        for (i, slot) in reduced.iter_mut().enumerate() {
             if i != src {
-                reduced[i] = r;
+                *slot = r;
                 r += 1;
             }
         }

@@ -93,6 +93,9 @@ impl RegressionTree {
         let parent_score = total_sum * total_sum / total_cnt;
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut sorted = idx.to_vec();
+        // `f` indexes the inner feature dimension across many rows, so an
+        // iterator over `rows` cannot replace it.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
             sorted.sort_by(|&a, &b| rows[a][f].total_cmp(&rows[b][f]));
             let mut left_sum = 0.0;
@@ -320,7 +323,7 @@ mod tests {
         let (rows, ys) = make_data(400, |a, b| 2.0 * a + b);
         let (train_r, test_r) = rows.split_at(300);
         let (train_y, test_y) = ys.split_at(300);
-        let model = Gbdt::fit(&train_r.to_vec(), train_y, &GbdtConfig::default()).unwrap();
+        let model = Gbdt::fit(train_r, train_y, &GbdtConfig::default()).unwrap();
         let mse: f64 = test_r
             .iter()
             .zip(test_y)

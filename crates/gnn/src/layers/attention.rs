@@ -41,7 +41,7 @@ impl MhsaLayer {
         heads: usize,
         norm: bool,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide into heads");
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim must divide into heads");
         let head_dim = dim / heads;
         let proj = |params: &mut ParamSet, rng: &mut InitRng, role: &str| -> Vec<Linear> {
             (0..heads)

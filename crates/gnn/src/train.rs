@@ -38,12 +38,22 @@ impl Default for TrainConfig {
 pub struct TrainReport {
     /// Mean per-net loss of each epoch.
     pub epoch_losses: Vec<f32>,
+    /// Wall-clock duration of each epoch, seconds.
+    pub epoch_seconds: Vec<f64>,
+    /// Pre-clip global gradient norm of the last optimizer step
+    /// (`NaN` when no step ran).
+    pub final_grad_norm: f32,
 }
 
 impl TrainReport {
     /// Loss of the final epoch.
     pub fn final_loss(&self) -> f32 {
         self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Total wall-clock training time, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.epoch_seconds.iter().sum()
     }
 }
 
@@ -63,34 +73,52 @@ pub fn train<M: GraphModel + ?Sized>(
             return Err(GnnError::BadBatch(format!("batch {i} has no targets")));
         }
     }
+    let _train_span = obs::span("train");
+    let loss_gauge = obs::gauge("gnn.train.loss");
+    let grad_gauge = obs::gauge("gnn.train.grad_norm");
+    obs::gauge("gnn.train.lr").set(cfg.lr as f64);
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..batches.len()).collect();
     let mut rng = InitRng::new(cfg.seed);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut epoch_seconds = Vec::with_capacity(cfg.epochs);
+    let mut final_grad_norm = f32::NAN;
 
     for epoch in 0..cfg.epochs {
-        // Fisher-Yates shuffle.
-        for i in (1..order.len()).rev() {
-            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-            order.swap(i, j);
+        let epoch_span = obs::span("epoch");
+        let epoch_start = std::time::Instant::now();
+        {
+            // Fisher-Yates shuffle.
+            let _s = obs::span("shuffle");
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
         }
         let mut total = 0.0f32;
         for &bi in &order {
             let batch = &batches[bi];
             let targets = batch.targets.as_ref().expect("validated above");
             let mut tape = Tape::new();
-            let pred = model.forward(&mut tape, batch);
-            let loss = tape.mse_loss(pred, targets);
-            tape.backward(loss);
+            let loss = {
+                let _s = obs::span("forward");
+                let pred = model.forward(&mut tape, batch);
+                tape.mse_loss(pred, targets)
+            };
+            let mut grads = {
+                let _s = obs::span("backward");
+                tape.backward(loss);
+                tape.param_grads()
+            };
             total += tape.value(loss).get(0, 0);
 
-            let mut grads = tape.param_grads();
+            let norm: f32 = grads
+                .iter()
+                .map(|(_, g)| g.norm() * g.norm())
+                .sum::<f32>()
+                .sqrt();
+            final_grad_norm = norm;
             if let Some(clip) = cfg.grad_clip {
-                let norm: f32 = grads
-                    .iter()
-                    .map(|(_, g)| g.norm() * g.norm())
-                    .sum::<f32>()
-                    .sqrt();
                 if norm > clip {
                     let s = clip / norm;
                     for (_, g) in &mut grads {
@@ -101,12 +129,35 @@ pub fn train<M: GraphModel + ?Sized>(
             opt.step(model.param_set_mut(), &grads);
         }
         let mean = total / batches.len().max(1) as f32;
+        drop(epoch_span);
+        epoch_seconds.push(epoch_start.elapsed().as_secs_f64());
+        loss_gauge.set(mean as f64);
+        grad_gauge.set(final_grad_norm as f64);
+        obs::event!(
+            obs::Level::Debug,
+            "gnn.train",
+            "epoch done",
+            epoch = epoch,
+            loss = mean,
+            grad_norm = final_grad_norm,
+        );
         if !mean.is_finite() {
+            obs::event!(
+                obs::Level::Error,
+                "gnn.train",
+                "training diverged",
+                epoch = epoch,
+                loss = mean,
+            );
             return Err(GnnError::Diverged { epoch });
         }
         epoch_losses.push(mean);
     }
-    Ok(TrainReport { epoch_losses })
+    Ok(TrainReport {
+        epoch_losses,
+        epoch_seconds,
+        final_grad_norm,
+    })
 }
 
 /// Mean validation loss of `model` over `batches` (forward only).
@@ -171,7 +222,7 @@ pub fn train_with_early_stopping<M: GraphModel + ?Sized>(
         train_losses.push(r.final_loss());
         let vl = validation_loss(model, val_batches)?;
         val_losses.push(vl);
-        let improved = best.as_ref().map_or(true, |(_, b, _)| vl < *b);
+        let improved = best.as_ref().is_none_or(|(_, b, _)| vl < *b);
         if improved {
             best = Some((epoch, vl, model.param_set().clone()));
         } else if let Some((be, _, _)) = best.as_ref() {
@@ -327,7 +378,29 @@ mod tests {
         let r1 = train(&mut m1, &batches, &cfg).unwrap();
         let mut m2 = tiny_model();
         let r2 = train(&mut m2, &batches, &cfg).unwrap();
-        assert_eq!(r1, r2);
+        // Wall-clock fields differ between runs; the numerics must not.
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        assert_eq!(r1.final_grad_norm, r2.final_grad_norm);
         assert_eq!(m1.predict(&batches[0]), m2.predict(&batches[0]));
+    }
+
+    #[test]
+    fn report_tracks_epoch_seconds_and_grad_norm() {
+        let batches = vec![labelled_batch(10.0, 0.1), labelled_batch(90.0, 0.9)];
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let mut model = tiny_model();
+        let report = train(&mut model, &batches, &cfg).unwrap();
+        assert_eq!(report.epoch_seconds.len(), report.epoch_losses.len());
+        assert!(report.epoch_seconds.iter().all(|&s| s > 0.0 && s.is_finite()));
+        assert!(report.total_seconds() >= *report.epoch_seconds.last().unwrap());
+        assert!(report.final_grad_norm.is_finite());
+        assert!(report.final_grad_norm >= 0.0);
+        // No optimizer step -> no gradient norm.
+        let empty = train(&mut tiny_model(), &[], &cfg).unwrap();
+        assert!(empty.final_grad_norm.is_nan());
+        assert_eq!(empty.epoch_seconds.len(), cfg.epochs);
     }
 }

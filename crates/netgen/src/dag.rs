@@ -30,13 +30,13 @@ impl GateDag {
         let n_inputs = (n_gates / 10).max(1).min(n_gates);
         let mut fanin: Vec<Vec<usize>> = vec![Vec::new(); n_gates];
         let mut has_fanout = vec![false; n_gates];
-        for g in n_inputs..n_gates {
+        for (g, fi) in fanin.iter_mut().enumerate().skip(n_inputs) {
             let k = rng.gen_range(1..=3usize);
             let window = 64.min(g);
             for _ in 0..k {
                 let src = g - 1 - rng.gen_range(0..window);
-                if !fanin[g].contains(&src) {
-                    fanin[g].push(src);
+                if !fi.contains(&src) {
+                    fi.push(src);
                     has_fanout[src] = true;
                 }
             }

@@ -107,11 +107,17 @@ fn design_seed(global: u64, name: &str) -> u64 {
 /// Panics when `scale` is not positive.
 pub fn generate_design(spec: &DesignSpec, scale: f64, global_seed: u64, cfg: NetConfig) -> Design {
     assert!(scale > 0.0, "scale must be positive");
+    let _span = obs::span("design_gen");
     let total = ((spec.nets as f64 * scale).round() as usize).max(2);
     let nontree = ((total as f64 * spec.nontree_frac()).round() as usize)
         .max(1)
         .min(total - 1);
     let mut g = NetGenerator::new(design_seed(global_seed, spec.name), cfg);
+    let net_counter = obs::counter("netgen.nets");
+    let nontree_counter = obs::counter("netgen.nontree_nets");
+    let node_hist = obs::histogram_with("netgen.net.nodes", None, || {
+        obs::exponential_bounds(2.0, 2.0, 12)
+    });
     // Interleave tree and non-tree nets deterministically.
     let mut nets = Vec::with_capacity(total);
     let mut made_nontree = 0usize;
@@ -122,8 +128,24 @@ pub fn generate_design(spec: &DesignSpec, scale: f64, global_seed: u64, cfg: Net
         if is_nontree {
             made_nontree += 1;
         }
-        nets.push(g.net(format!("{}_n{i}", spec.name), is_nontree));
+        let net = {
+            let _s = obs::span("net");
+            g.net(format!("{}_n{i}", spec.name), is_nontree)
+        };
+        node_hist.observe(net.node_count() as f64);
+        nets.push(net);
     }
+    net_counter.add(total as u64);
+    nontree_counter.add(made_nontree as u64);
+    obs::event!(
+        obs::Level::Debug,
+        "netgen.designs",
+        "design generated",
+        design = spec.name,
+        nets = total,
+        nontree = made_nontree,
+        scale = scale,
+    );
     Design {
         spec: spec.clone(),
         scale,

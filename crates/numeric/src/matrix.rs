@@ -181,13 +181,13 @@ impl Matrix {
     pub fn mul_vec(&self, v: &Vector) -> Vector {
         assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, x) in row.iter().zip(v.as_slice()) {
                 acc += a * x;
             }
-            out[i] = acc;
+            *o = acc;
         }
         Vector::from(out)
     }

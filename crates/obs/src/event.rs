@@ -1,0 +1,501 @@
+//! Leveled structured events with pluggable sinks.
+//!
+//! The fast path is a single relaxed atomic load: when the event's level
+//! is filtered out (e.g. `OBS_LEVEL=off`), [`emit`] returns before
+//! touching any lock, allocation or sink. Sinks receive every event that
+//! passes the global filter; the built-in [`StderrSink`] renders a
+//! human-readable line, [`JsonlSink`] appends one JSON object per line.
+
+use crate::json;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity. Ordered so that a smaller numeric value is more
+/// severe; the global filter keeps events with `level <= filter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Filter value only: no event passes.
+    Off = 0,
+    /// Unrecoverable or correctness-relevant problems.
+    Error = 1,
+    /// Suspicious conditions (rejected inputs, fallbacks taken).
+    Warn = 2,
+    /// High-level progress (per-run, per-stage).
+    Info = 3,
+    /// Per-iteration detail (per-epoch, per-net).
+    Debug = 4,
+    /// Everything, including span exits.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by `OBS_LEVEL`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses an `OBS_LEVEL` value; unknown strings return `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text.
+    Str(String),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => json::push_string(out, s),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => json::push_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::Str(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A structured event as seen by sinks.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Dotted origin, `crate.module` by convention.
+    pub target: &'a str,
+    /// Human-readable message.
+    pub message: &'a str,
+    /// Key-value payload.
+    pub fields: &'a [(&'a str, Value)],
+    /// Milliseconds since the Unix epoch at emission.
+    pub ts_unix_ms: u64,
+}
+
+/// An event destination.
+pub trait Sink: Send + Sync {
+    /// Receives one event that passed the global level filter.
+    fn emit(&self, event: &Event<'_>);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Human-readable `[level target] message k=v ...` lines on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = format!(
+            "[{:<5} {}] {}",
+            event.level, event.target, event.message
+        );
+        for (k, v) in event.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// One JSON object per event, appended to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` for event output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Renders one event as a single JSON line (without the newline).
+    pub fn render(event: &Event<'_>) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"ts_unix_ms\":");
+        s.push_str(&event.ts_unix_ms.to_string());
+        s.push_str(",\"level\":");
+        json::push_string(&mut s, event.level.as_str());
+        s.push_str(",\"target\":");
+        json::push_string(&mut s, event.target);
+        s.push_str(",\"message\":");
+        json::push_string(&mut s, event.message);
+        s.push_str(",\"fields\":{");
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_string(&mut s, k);
+            s.push(':');
+            v.push_json(&mut s);
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event<'_>) {
+        let line = Self::render(event);
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// The level filter: a plain atomic so the disabled path never locks.
+// `UNSET` marks "not yet initialized from OBS_LEVEL".
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+/// Default filter when `OBS_LEVEL` is absent: warnings and errors only,
+/// so tests and table binaries stay quiet unless something is wrong.
+const DEFAULT_LEVEL: Level = Level::Warn;
+
+#[cold]
+fn init_level_from_env() -> u8 {
+    let lvl = std::env::var("OBS_LEVEL")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(DEFAULT_LEVEL);
+    // Racing initializers compute the same value; last store wins.
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+    lvl as u8
+}
+
+fn current_level() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == UNSET {
+        init_level_from_env()
+    } else {
+        v
+    }
+}
+
+/// Whether events at `level` currently pass the filter. A single relaxed
+/// atomic load once initialized — safe to call on hot paths.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && (level as u8) <= current_level()
+}
+
+/// Overrides the filter programmatically (wins over `OBS_LEVEL`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current filter level.
+pub fn level() -> Level {
+    match current_level() {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
+    static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(vec![Arc::new(StderrSink)]))
+}
+
+/// Registers an additional sink (alongside the default stderr sink).
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    sinks().write().expect("sink registry poisoned").push(sink);
+}
+
+/// Replaces all sinks (pass an empty slice to drop stderr output too).
+pub fn set_sinks(new: Vec<Arc<dyn Sink>>) {
+    *sinks().write().expect("sink registry poisoned") = new;
+}
+
+/// Flushes every registered sink.
+pub fn flush() {
+    for s in sinks().read().expect("sink registry poisoned").iter() {
+        s.flush();
+    }
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits one structured event to every sink, if `level` passes the
+/// filter. The disabled path takes no locks.
+pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let event = Event {
+        level,
+        target,
+        message,
+        fields,
+        ts_unix_ms: now_unix_ms(),
+    };
+    for s in sinks().read().expect("sink registry poisoned").iter() {
+        s.emit(&event);
+    }
+}
+
+/// Emits a leveled structured event: `event!(Level::Warn, "bench.harness",
+/// "bad flag", flag = "--epochs", value = raw)`. Field values go through
+/// `Value::from`. The level check happens before any field is evaluated.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::emit(
+                $level,
+                $target,
+                $msg,
+                &[$((stringify!($key), $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    // Tests in this module mutate process-global state (level, sinks);
+    // serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Default)]
+    struct CountingSink {
+        n: AtomicUsize,
+    }
+
+    impl Sink for CountingSink {
+        fn emit(&self, _e: &Event<'_>) {
+            self.n.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn level_parsing_round_trips() {
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn off_silences_and_filter_orders() {
+        let _g = lock();
+        let sink = Arc::new(CountingSink::default());
+        set_sinks(vec![sink.clone()]);
+        set_level(Level::Off);
+        emit(Level::Error, "t", "m", &[]);
+        assert_eq!(sink.n.load(Ordering::Relaxed), 0);
+        set_level(Level::Warn);
+        emit(Level::Error, "t", "m", &[]);
+        emit(Level::Warn, "t", "m", &[]);
+        emit(Level::Info, "t", "m", &[]);
+        assert_eq!(sink.n.load(Ordering::Relaxed), 2);
+        set_level(Level::Trace);
+        emit(Level::Trace, "t", "m", &[]);
+        assert_eq!(sink.n.load(Ordering::Relaxed), 3);
+        set_sinks(vec![Arc::new(StderrSink)]);
+        set_level(DEFAULT_LEVEL);
+    }
+
+    #[test]
+    fn event_macro_builds_fields() {
+        let _g = lock();
+        struct Capture(Mutex<Vec<String>>);
+        impl Sink for Capture {
+            fn emit(&self, e: &Event<'_>) {
+                self.0.lock().unwrap().push(JsonlSink::render(e));
+            }
+        }
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        set_sinks(vec![cap.clone()]);
+        set_level(Level::Info);
+        crate::event!(
+            Level::Info,
+            "obs.test",
+            "hello",
+            count = 3usize,
+            ratio = 0.5f64,
+            name = "x\"y",
+        );
+        let lines = cap.0.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.contains("\"target\":\"obs.test\""), "{line}");
+        assert!(line.contains("\"count\":3"), "{line}");
+        assert!(line.contains("\"ratio\":0.5"), "{line}");
+        assert!(line.contains("\"name\":\"x\\\"y\""), "{line}");
+        drop(lines);
+        set_sinks(vec![Arc::new(StderrSink)]);
+        set_level(DEFAULT_LEVEL);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let _g = lock();
+        let dir = std::env::temp_dir().join("obs_test_jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event {
+            level: Level::Warn,
+            target: "a.b",
+            message: "line1\nline2",
+            fields: &[("k", Value::from("v"))],
+            ts_unix_ms: 42,
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"ts_unix_ms\":42,\"level\":\"warn\",\"target\":\"a.b\",\
+             \"message\":\"line1\\nline2\",\"fields\":{\"k\":\"v\"}}\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

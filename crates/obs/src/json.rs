@@ -1,0 +1,101 @@
+//! Hand-rolled JSON emission: escaping and number formatting.
+//!
+//! The crate is std-only by design (the build environment is offline),
+//! so report and JSONL serialization write JSON text directly. Output is
+//! ASCII-safe: non-ASCII characters are emitted as `\uXXXX` escapes
+//! (surrogate pairs above the BMP), which keeps downstream log shippers
+//! encoding-agnostic.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+pub fn push_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c if c.is_ascii() => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
+            }
+        }
+    }
+}
+
+/// Appends `s` as a quoted JSON string.
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    push_escaped(out, s);
+    out.push('"');
+}
+
+/// `s` as a quoted JSON string.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_string(&mut out, s);
+    out
+}
+
+/// Appends `v` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(string(r#"a"b\c"#), r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn escapes_newlines_tabs_and_controls() {
+        assert_eq!(string("a\nb\tc\r"), r#""a\nb\tc\r""#);
+        assert_eq!(string("\u{01}"), r#""\u0001""#);
+        assert_eq!(string("\u{08}\u{0c}"), r#""\b\f""#);
+    }
+
+    #[test]
+    fn escapes_non_ascii_as_unicode() {
+        assert_eq!(string("\u{b5}s"), r#""\u00b5s""#);
+        assert_eq!(string("\u{65e5}"), r#""\u65e5""#);
+        // Astral plane -> surrogate pair.
+        assert_eq!(string("\u{1d11e}"), r#""\ud834\udd1e""#);
+    }
+
+    #[test]
+    fn plain_ascii_passes_through() {
+        assert_eq!(string("net_42.sink[3]"), "\"net_42.sink[3]\"");
+    }
+
+    #[test]
+    fn numbers_and_non_finite() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+}

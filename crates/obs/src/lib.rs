@@ -1,0 +1,49 @@
+//! Zero-dependency observability for the wire-timing workspace.
+//!
+//! Four pieces, all std-only (the build environment is offline):
+//!
+//! * **Spans** — RAII wall-clock timers with per-thread nesting.
+//!   [`span("epoch")`](span) inside a `train` span aggregates under the
+//!   dotted path `train.epoch`, tracking count, total and *self* time.
+//! * **Metrics** — a global registry of [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s (p50/p95/p99 readout), addressed by
+//!   `crate.module.op` names plus an optional label.
+//! * **Events** — leveled structured logging via the [`event!`] macro,
+//!   filtered by `OBS_LEVEL` (off/error/warn/info/debug/trace; default
+//!   warn) and fanned out to pluggable [`Sink`]s. The disabled path is
+//!   one relaxed atomic load: no locks, no allocation.
+//! * **Reports** — [`RunReport::capture()`] snapshots the span tree and
+//!   metrics registry into a single JSON document; experiment binaries
+//!   expose it via `--obs-json <path>`.
+//!
+//! ```
+//! let _run = obs::span("example");
+//! obs::counter("obs.doc.items").add(3);
+//! obs::event!(obs::Level::Info, "obs.doc", "processed", items = 3usize);
+//! let json = obs::RunReport::capture().to_json();
+//! assert!(json.contains("obs.doc.items"));
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use event::{
+    add_sink, emit, enabled, flush, level, set_level, set_sinks, Event, JsonlSink, Level, Sink,
+    StderrSink, Value,
+};
+pub use metrics::{
+    counter, counter_labeled, exponential_bounds, gauge, gauge_labeled, histogram, histogram_with,
+    Counter, Gauge, Histogram, HistogramInner, Key, MetricsSnapshot,
+};
+pub use report::RunReport;
+pub use span::{span, with_span, Span, SpanEntry, SpanStats};
+
+/// Clears all global observability state: spans, metrics. Events keep
+/// their sinks and level. Intended for test isolation.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+}

@@ -1,0 +1,206 @@
+//! `RunReport`: a JSON snapshot of the span tree and metrics registry.
+//!
+//! Experiment binaries capture one report at exit (see `--obs-json` in
+//! the bench harness) so a run's timing breakdown and counters are
+//! machine-readable without a metrics server.
+
+use crate::json;
+use crate::metrics::{self, MetricsSnapshot};
+use crate::span::{self, SpanEntry};
+use std::io::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "obs.run_report.v1";
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// Point-in-time snapshot of all spans and metrics.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Milliseconds since the Unix epoch at capture time.
+    pub captured_unix_ms: u128,
+    /// Every recorded span path with its aggregates, sorted by path.
+    pub spans: Vec<SpanEntry>,
+    /// Every registered counter, gauge and histogram.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Captures the current global span and metric state.
+    pub fn capture() -> Self {
+        RunReport {
+            captured_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
+            spans: span::snapshot(),
+            metrics: metrics::snapshot(),
+        }
+    }
+
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":");
+        json::push_string(&mut out, SCHEMA);
+        out.push_str(",\"captured_unix_ms\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.captured_unix_ms));
+
+        out.push_str(",\"spans\":[");
+        for (i, row) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":");
+            json::push_string(&mut out, &row.path);
+            out.push_str(",\"count\":");
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", row.stats.count));
+            out.push_str(",\"total_s\":");
+            json::push_f64(&mut out, row.stats.total_ns as f64 / NS_PER_SEC);
+            out.push_str(",\"self_s\":");
+            json::push_f64(&mut out, row.stats.self_ns as f64 / NS_PER_SEC);
+            out.push('}');
+        }
+        out.push(']');
+
+        out.push_str(",\"counters\":[");
+        for (i, (key, value)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, &key.name, key.label.as_deref());
+            out.push_str(",\"value\":");
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{value}"));
+            out.push('}');
+        }
+        out.push(']');
+
+        out.push_str(",\"gauges\":[");
+        for (i, (key, value)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, &key.name, key.label.as_deref());
+            out.push_str(",\"value\":");
+            json::push_f64(&mut out, *value);
+            out.push('}');
+        }
+        out.push(']');
+
+        out.push_str(",\"histograms\":[");
+        for (i, (key, hist)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, &key.name, key.label.as_deref());
+            out.push_str(",\"count\":");
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", hist.count()));
+            out.push_str(",\"sum\":");
+            json::push_f64(&mut out, hist.sum());
+            out.push_str(",\"min\":");
+            json::push_f64(&mut out, hist.min());
+            out.push_str(",\"max\":");
+            json::push_f64(&mut out, hist.max());
+            out.push_str(",\"mean\":");
+            json::push_f64(&mut out, hist.mean());
+            out.push_str(",\"p50\":");
+            json::push_f64(&mut out, hist.quantile(0.50));
+            out.push_str(",\"p95\":");
+            json::push_f64(&mut out, hist.quantile(0.95));
+            out.push_str(",\"p99\":");
+            json::push_f64(&mut out, hist.quantile(0.99));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the JSON report to `path` (plus a trailing newline).
+    pub fn write_file(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+}
+
+fn push_key(out: &mut String, name: &str, label: Option<&str>) {
+    out.push_str("{\"name\":");
+    json::push_string(out, name);
+    if let Some(label) = label {
+        out.push_str(",\"label\":");
+        json::push_string(out, label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal structural JSON validator: object/array/string/number
+    /// nesting balance with strings skipped. Enough to catch emitter
+    /// bugs (unbalanced braces, stray commas inside strings are legal).
+    fn assert_balanced_json(s: &str) {
+        let mut depth = 0i64;
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {s}");
+                }
+                '"' => loop {
+                    match chars.next() {
+                        Some('\\') => {
+                            chars.next();
+                        }
+                        Some('"') => break,
+                        Some(_) => {}
+                        None => panic!("unterminated string in {s}"),
+                    }
+                },
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+    }
+
+    #[test]
+    fn report_contains_schema_spans_and_metrics() {
+        crate::metrics::counter("obs.test.report_counter").add(7);
+        crate::metrics::gauge_labeled("obs.test.report_gauge", Some("tag\"x")).set(1.5);
+        let h = crate::metrics::histogram_with("obs.test.report_hist", None, || vec![1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        {
+            let _root = crate::span::span("report_root");
+            let _child = crate::span::span("child");
+        }
+
+        let report = RunReport::capture();
+        let json = report.to_json();
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"schema\":\"obs.run_report.v1\""));
+        assert!(json.contains("\"path\":\"report_root.child\""));
+        assert!(json.contains("\"name\":\"obs.test.report_counter\",\"value\":7"));
+        // Label with a quote survives escaping.
+        assert!(json.contains(r#""label":"tag\"x""#));
+        assert!(json.contains("\"name\":\"obs.test.report_hist\",\"count\":2"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn write_file_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("obs_report_test.json");
+        let path = path.to_str().unwrap();
+        let report = RunReport::capture();
+        report.write_file(path).unwrap();
+        let on_disk = std::fs::read_to_string(path).unwrap();
+        assert_eq!(on_disk.trim_end(), report.to_json());
+        let _ = std::fs::remove_file(path);
+    }
+}

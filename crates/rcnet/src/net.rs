@@ -391,7 +391,8 @@ impl RcNetBuilder {
                     e.a
                 )));
             }
-            if !(e.res.value() > 0.0) {
+            let positive = e.res.value() > 0.0;
+            if !positive {
                 return Err(RcNetError::InvalidNet(format!(
                     "edge {i} has non-positive resistance {}",
                     e.res

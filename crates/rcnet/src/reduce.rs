@@ -10,19 +10,11 @@
 use crate::{Farads, NodeKind, RcNet, RcNetBuilder, RcNetError};
 
 /// Options for [`merge_series`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ReduceOptions {
     /// Only merge nodes whose ground capacitance is below this bound
     /// (`None` merges every eligible node).
     pub max_merged_cap: Option<Farads>,
-}
-
-impl Default for ReduceOptions {
-    fn default() -> Self {
-        ReduceOptions {
-            max_merged_cap: None,
-        }
-    }
 }
 
 /// Result of a reduction pass.
@@ -61,7 +53,7 @@ pub fn merge_series(net: &RcNet, opts: ReduceOptions) -> Result<Reduced, RcNetEr
             && !coupled.contains(&i)
             && opts
                 .max_merged_cap
-                .map_or(true, |lim| node.cap.value() <= lim.value());
+                .is_none_or(|lim| node.cap.value() <= lim.value());
         if eligible {
             keep[i] = false;
         }

@@ -72,8 +72,8 @@ fn unit_scale(line_no: usize, value: &str, unit: &str, kind: char) -> Result<f64
 
 /// Resolves `*<idx>` name-map references inside a node token. Handles the
 /// delimiter form `*12:3` (mapped name plus pin/sub-node suffix).
-fn resolve<'a>(
-    token: &'a str,
+fn resolve(
+    token: &str,
     map: &HashMap<u64, String>,
     delimiter: char,
     line_no: usize,
@@ -116,6 +116,27 @@ enum Section {
 /// and [`RcNetError::InvalidNet`] when a `*D_NET` section fails RC-net
 /// validation (e.g. no driver connection).
 pub fn parse(text: &str) -> Result<SpefDocument, RcNetError> {
+    let _span = obs::span("spef_parse");
+    let result = parse_inner(text);
+    obs::counter("rcnet.spef.lines").add(text.lines().count() as u64);
+    match &result {
+        Ok(doc) => obs::counter("rcnet.spef.nets").add(doc.nets.len() as u64),
+        Err(e) => {
+            obs::counter("rcnet.spef.parse_errors").inc();
+            obs::event!(
+                obs::Level::Warn,
+                "rcnet.spef",
+                "SPEF parse failed",
+                error = e.to_string(),
+            );
+        }
+    }
+    result
+}
+
+fn parse_inner(text: &str) -> Result<SpefDocument, RcNetError> {
+    let cap_entries = obs::counter("rcnet.spef.caps");
+    let res_entries = obs::counter("rcnet.spef.res");
     let mut header = SpefHeader::default();
     let mut name_map: HashMap<u64, String> = HashMap::new();
     let mut nets = Vec::new();
@@ -291,6 +312,7 @@ pub fn parse(text: &str) -> Result<SpefDocument, RcNetError> {
                     }
                     _ => return Err(err(line_no, "malformed *CAP entry")),
                 }
+                cap_entries.inc();
             }
             Section::NetRes => {
                 if tokens.len() != 4 {
@@ -311,6 +333,7 @@ pub fn parse(text: &str) -> Result<SpefDocument, RcNetError> {
                     .node_by_name(&n2)
                     .unwrap_or_else(|| b.internal(n2, Farads(0.0)));
                 b.resistor(a, bb, Ohms(res * header.res_scale));
+                res_entries.inc();
             }
             Section::Preamble => {
                 return Err(err(line_no, format!("unexpected token `{keyword}`")));

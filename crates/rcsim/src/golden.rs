@@ -141,11 +141,14 @@ impl GoldenTimer {
         si: SiMode,
         edge: Edge,
     ) -> Result<Vec<PathTiming>, SimError> {
-        if !(input_slew.value() > 0.0) {
+        let positive = input_slew.value() > 0.0;
+        if !positive {
             return Err(SimError::BadParameter(format!(
                 "input slew must be positive, got {input_slew}"
             )));
         }
+        let _span = obs::span("golden_net");
+        let wall = std::time::Instant::now();
         let sys = MnaSystem::new(net, self.r_drive)?;
         // A 10-90% slew corresponds to 80% of the full ramp.
         let ramp = input_slew.value() / 0.8;
@@ -185,6 +188,7 @@ impl GoldenTimer {
                 .iter()
                 .all(|&s| settled_value(res.waveforms[s.index()].final_value().value()));
             if !settled {
+                obs::counter("rcsim.golden.horizon_extensions").inc();
                 horizon *= 2.0;
                 continue;
             }
@@ -210,10 +214,20 @@ impl GoldenTimer {
                 }
             }
             if ok {
+                obs::counter("rcsim.golden.nets").inc();
+                obs::histogram("rcsim.golden.net_seconds").observe(wall.elapsed().as_secs_f64());
                 return Ok(out);
             }
+            obs::counter("rcsim.golden.horizon_extensions").inc();
             horizon *= 2.0;
         }
+        obs::event!(
+            obs::Level::Warn,
+            "rcsim.golden",
+            "net did not settle within extended horizon",
+            net = net.name(),
+            extensions = self.max_extensions,
+        );
         Err(SimError::NotSettled {
             net: net.name().to_string(),
         })

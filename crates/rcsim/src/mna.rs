@@ -31,7 +31,8 @@ impl MnaSystem {
     ///
     /// Returns [`SimError::BadParameter`] when `r_drive` is not positive.
     pub fn new(net: &RcNet, r_drive: Ohms) -> Result<Self, SimError> {
-        if !(r_drive.value() > 0.0) {
+        let positive = r_drive.value() > 0.0;
+        if !positive {
             return Err(SimError::BadParameter(format!(
                 "drive resistance must be positive, got {r_drive}"
             )));

@@ -88,20 +88,25 @@ pub fn simulate(
     horizon: f64,
     steps: usize,
 ) -> Result<TransientResult, SimError> {
-    if !(horizon > 0.0) || steps == 0 {
+    let horizon_ok = horizon > 0.0;
+    if !horizon_ok || steps == 0 {
         return Err(SimError::BadParameter(format!(
             "horizon {horizon} / steps {steps} must be positive"
         )));
     }
+    let _sim_span = obs::span("transient");
     let n = sys.dim();
     let h = horizon / steps as f64;
 
     // A = C/h + G/2 — factorized once.
-    let mut a = sys.conductance.scale(0.5);
-    for i in 0..n {
-        a[(i, i)] += sys.cap_diag[i] / h;
-    }
-    let lu = LuFactor::new(&a)?;
+    let lu = {
+        let _s = obs::span("factor");
+        let mut a = sys.conductance.scale(0.5);
+        for i in 0..n {
+            a[(i, i)] += sys.cap_diag[i] / h;
+        }
+        LuFactor::new(&a)?
+    };
 
     // Right-hand side b(t): drive current + aggressor injections.
     let rhs_at = |t: f64| -> Vector {
@@ -123,21 +128,27 @@ pub fn simulate(
     for (i, s) in samples.iter_mut().enumerate() {
         s.push(v[i]);
     }
-    let mut b_prev = rhs_at(0.0);
-    for step in 1..=steps {
-        let t = h * step as f64;
-        let b_next = rhs_at(t);
-        // rhs = (C/h) v - (G v)/2 + (b_prev + b_next)/2
-        let gv = sys.conductance.mul_vec(&v);
-        let mut rhs = Vector::zeros(n);
-        for i in 0..n {
-            rhs[i] = sys.cap_diag[i] / h * v[i] - 0.5 * gv[i] + 0.5 * (b_prev[i] + b_next[i]);
+    {
+        // Back-substitution loop: one solve per timestep against the
+        // shared factorization.
+        let _s = obs::span("steps");
+        let mut b_prev = rhs_at(0.0);
+        for step in 1..=steps {
+            let t = h * step as f64;
+            let b_next = rhs_at(t);
+            // rhs = (C/h) v - (G v)/2 + (b_prev + b_next)/2
+            let gv = sys.conductance.mul_vec(&v);
+            let mut rhs = Vector::zeros(n);
+            for i in 0..n {
+                rhs[i] = sys.cap_diag[i] / h * v[i] - 0.5 * gv[i] + 0.5 * (b_prev[i] + b_next[i]);
+            }
+            v = lu.solve(&rhs)?;
+            for (i, s) in samples.iter_mut().enumerate() {
+                s.push(v[i]);
+            }
+            b_prev = b_next;
         }
-        v = lu.solve(&rhs)?;
-        for (i, s) in samples.iter_mut().enumerate() {
-            s.push(v[i]);
-        }
-        b_prev = b_next;
+        obs::counter("rcsim.transient.steps").add(steps as u64);
     }
 
     let dt = Seconds(h);

@@ -225,7 +225,7 @@ impl Netlist {
                         let (at, slew) = nt.at_sinks[pos];
                         let (gd, out_slew) = gate.cell.arc().eval(slew, load);
                         let cand = (at + gd, out_slew);
-                        if best.map_or(true, |b| cand.0 > b.0) {
+                        if best.is_none_or(|b| cand.0 > b.0) {
                             best = Some(cand);
                         }
                     }

@@ -138,7 +138,7 @@ pub fn critical_path(
             for (pos, fo) in netlist.nets()[in_net.0].fanout.iter().enumerate() {
                 if *fo == Some(gate) {
                     let at = timing[in_net.0].at_sinks[pos].0.value();
-                    if worst_input.map_or(true, |(_, w)| at > w) {
+                    if worst_input.is_none_or(|(_, w)| at > w) {
                         worst_input = Some((in_net, at));
                     }
                 }

@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .arrival(&estimator, input_slew)?
                     .arrival
                     .pico_seconds();
-                if best.as_ref().map_or(true, |(_, b)| arrival < *b) {
+                if best.as_ref().is_none_or(|(_, b)| arrival < *b) {
                     best = Some((choice, arrival));
                 }
             }

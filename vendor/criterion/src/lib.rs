@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize` and the `criterion_group!`/`criterion_main!` macros with a
+//! plain timing loop (median over the configured sample count). It keeps
+//! `cargo bench -p bench` runnable without crates.io access; numbers are
+//! indicative, not statistically rigorous.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost relates to the routine (subset of
+/// `criterion::BatchSize`; only used to pick an iteration count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap setup relative to the routine.
+    SmallInput,
+    /// Comparable setup and routine cost.
+    LargeInput,
+    /// Setup dominates; run one routine call per batch.
+    PerIteration,
+}
+
+/// Measurement driver passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter*` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            times.push(t.elapsed());
+        }
+        times.sort();
+        self.last_median = times[times.len() / 2];
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed());
+        }
+        times.sort();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// Benchmark registry and configuration (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(4),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget (advisory in this shim).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // One untimed warm-up pass.
+        let mut warm = Bencher {
+            samples: 1,
+            last_median: Duration::ZERO,
+        };
+        let warm_until = Instant::now() + self.warm_up_time;
+        loop {
+            f(&mut warm);
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<40} median {:>12.3?}", b.last_median);
+        self
+    }
+}
+
+/// Declares a benchmark group (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher {
+            samples: 4,
+            last_median: Duration::ZERO,
+        };
+        let mut setups = 0usize;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2)
+                .warm_up_time(Duration::from_millis(1));
+            targets = target
+        }
+        benches();
+    }
+}
