@@ -128,17 +128,46 @@ impl EstimatorConfig {
 
     fn from_mat(m: &Mat) -> Result<Self, CoreError> {
         if m.shape() != (1, 7) {
-            return Err(CoreError::BadInput("bad config matrix".into()));
+            return Err(CoreError::Checkpoint(format!(
+                "config matrix must be 1 x 7, got {} x {}",
+                m.rows(),
+                m.cols()
+            )));
         }
-        Ok(EstimatorConfig {
-            gnn_layers: m.get(0, 0) as usize,
-            attn_layers: m.get(0, 1) as usize,
-            hidden: m.get(0, 2) as usize,
-            heads: m.get(0, 3) as usize,
-            mlp_hidden: m.get(0, 4) as usize,
-            epochs: m.get(0, 5) as usize,
-            lr: m.get(0, 6),
-        })
+        // Checkpoint data is untrusted: a corrupt config would otherwise
+        // drive model construction into absurd allocations or panics.
+        let dim = |col: usize, name: &str, lo: f32, hi: f32| -> Result<usize, CoreError> {
+            let v = m.get(0, col);
+            if !v.is_finite() || v < lo || v > hi || v.fract() != 0.0 {
+                return Err(CoreError::Checkpoint(format!(
+                    "config field `{name}` is {v}, expected an integer in [{lo}, {hi}]"
+                )));
+            }
+            Ok(v as usize)
+        };
+        let lr = m.get(0, 6);
+        if !lr.is_finite() || lr <= 0.0 || lr > 1.0 {
+            return Err(CoreError::Checkpoint(format!(
+                "config field `lr` is {lr}, expected in (0, 1]"
+            )));
+        }
+        let cfg = EstimatorConfig {
+            gnn_layers: dim(0, "gnn_layers", 0.0, 1024.0)?,
+            attn_layers: dim(1, "attn_layers", 0.0, 1024.0)?,
+            hidden: dim(2, "hidden", 1.0, 65536.0)?,
+            heads: dim(3, "heads", 1.0, 1024.0)?,
+            mlp_hidden: dim(4, "mlp_hidden", 1.0, 65536.0)?,
+            epochs: dim(5, "epochs", 0.0, 1e9)?,
+            lr,
+        };
+        // The attention layer asserts this; fail with a typed error first.
+        if !cfg.hidden.is_multiple_of(cfg.heads) {
+            return Err(CoreError::Checkpoint(format!(
+                "config hidden ({}) is not divisible by heads ({})",
+                cfg.hidden, cfg.heads
+            )));
+        }
+        Ok(cfg)
     }
 }
 
@@ -157,6 +186,17 @@ pub struct PathEstimate {
     pub slew: Seconds,
     /// Predicted wire delay.
     pub delay: Seconds,
+}
+
+/// Per-net result of [`WireTimingEstimator::predict_spef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPrediction {
+    /// Net name from the SPEF `*D_NET` section.
+    pub net: String,
+    /// Sink pin name per path, aligned with `estimates`.
+    pub sinks: Vec<String>,
+    /// Path estimates in [`RcNet::paths`] order.
+    pub estimates: Vec<PathEstimate>,
 }
 
 /// The trained GNNTrans wire-timing estimator.
@@ -384,6 +424,37 @@ impl WireTimingEstimator {
             .collect()
     }
 
+    /// Parses a SPEF document and predicts every wire path of every net
+    /// in one call, using a [`NetContext::generic`] driving context per
+    /// net — the serving-layer convenience. Callers that know the real
+    /// driver and loads should build a [`NetContext`] and use
+    /// [`WireTimingEstimator::predict_net`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadInput`] on malformed SPEF,
+    /// [`CoreError::NotTrained`] before training, and propagates
+    /// feature-analysis failures.
+    pub fn predict_spef(&self, spef_text: &str) -> Result<Vec<NetPrediction>, CoreError> {
+        let doc =
+            rcnet::spef::parse(spef_text).map_err(|e| CoreError::BadInput(e.to_string()))?;
+        doc.nets
+            .iter()
+            .map(|net| {
+                let ctx = NetContext::generic(net);
+                let estimates = self.predict_net(net, &ctx)?;
+                Ok(NetPrediction {
+                    sinks: estimates
+                        .iter()
+                        .map(|p| net.node(p.sink).name.clone())
+                        .collect(),
+                    net: net.name().to_string(),
+                    estimates,
+                })
+            })
+            .collect()
+    }
+
     /// Saves weights, scalers and configuration to a file.
     ///
     /// # Errors
@@ -407,41 +478,67 @@ impl WireTimingEstimator {
     /// Loads an estimator previously written by
     /// [`WireTimingEstimator::save`].
     ///
+    /// Checkpoint files are treated as untrusted input (a serving layer
+    /// hot-reloads them at runtime): every failure mode — unreadable or
+    /// truncated file, wrong magic, corrupt configuration, scaler or
+    /// parameter shape mismatch — is reported as
+    /// [`CoreError::Checkpoint`]; this function never panics.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::BadInput`] when the file's parameter layout
-    /// does not match the stored configuration.
+    /// Returns [`CoreError::Checkpoint`] as described above.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
-        let loaded = tensor::serialize::load_file(path)?;
+        let loaded = tensor::serialize::load_file(path)
+            .map_err(|e| CoreError::Checkpoint(format!("unreadable checkpoint: {e}")))?;
         let find = |name: &str| -> Result<&Mat, CoreError> {
             loaded
                 .iter()
                 .find(|(n, _)| *n == name)
                 .map(|(_, m)| m)
-                .ok_or_else(|| CoreError::BadInput(format!("missing entry `{name}`")))
+                .ok_or_else(|| CoreError::Checkpoint(format!("missing entry `{name}`")))
         };
         let cfg = EstimatorConfig::from_mat(find("__config")?)?;
-        let scalers = Scalers {
-            node: Scaler::from_mat(find("__scaler_node")?),
-            path: Scaler::from_mat(find("__scaler_path")?),
-            target: Scaler::from_mat(find("__scaler_target")?),
+        let scaler = |name: &str| -> Result<Scaler, CoreError> {
+            Scaler::try_from_mat(find(name)?)
+                .map_err(|e| CoreError::Checkpoint(format!("entry `{name}`: {e}")))
         };
+        let scalers = Scalers {
+            node: scaler("__scaler_node")?,
+            path: scaler("__scaler_path")?,
+            target: scaler("__scaler_target")?,
+        };
+        if scalers.node.width() != NODE_DIM
+            || scalers.path.width() != PATH_DIM
+            || scalers.target.width() != 2
+        {
+            return Err(CoreError::Checkpoint(format!(
+                "scaler widths {}/{}/{} do not match feature dims {NODE_DIM}/{PATH_DIM}/2",
+                scalers.node.width(),
+                scalers.path.width(),
+                scalers.target.width()
+            )));
+        }
         let mut est = WireTimingEstimator::new(&cfg, 0);
         let n_model = est.model.param_set().len();
         if loaded.len() < n_model {
-            return Err(CoreError::BadInput("file has too few parameters".into()));
+            return Err(CoreError::Checkpoint(format!(
+                "file has {} parameters, model needs {n_model}",
+                loaded.len()
+            )));
         }
         for i in 0..n_model {
             let expect = est.model.param_set().name(i).to_string();
             if loaded.name(i) != expect {
-                return Err(CoreError::BadInput(format!(
+                return Err(CoreError::Checkpoint(format!(
                     "parameter {i} is `{}`, expected `{expect}`",
                     loaded.name(i)
                 )));
             }
             if loaded.get(i).shape() != est.model.param_set().get(i).shape() {
-                return Err(CoreError::BadInput(format!(
-                    "parameter `{expect}` has wrong shape"
+                return Err(CoreError::Checkpoint(format!(
+                    "parameter `{expect}` has shape {:?}, expected {:?}",
+                    loaded.get(i).shape(),
+                    est.model.param_set().get(i).shape()
                 )));
             }
             *est.model.param_set_mut().get_mut(i) = loaded.get(i).clone();
@@ -649,6 +746,161 @@ mod tests {
             fresh.fine_tune(&big_samples, 2, 1e-3),
             Err(CoreError::NotTrained)
         ));
+    }
+
+    #[test]
+    fn predict_spef_parses_and_predicts_every_net() {
+        let train_nets = nets(10, 9);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+
+        let probe = nets(3, 41);
+        let text = rcnet::spef::write(&rcnet::spef::SpefHeader::default(), &probe);
+        let preds = est.predict_spef(&text).unwrap();
+        assert_eq!(preds.len(), probe.len());
+        // Sink names refer to the round-tripped document's nets (node
+        // ordering is not preserved through SPEF), so compare there.
+        let doc = rcnet::spef::parse(&text).unwrap();
+        for (pred, net) in preds.iter().zip(&doc.nets) {
+            assert_eq!(pred.net, net.name());
+            assert_eq!(pred.estimates.len(), net.paths().len());
+            assert_eq!(pred.sinks.len(), pred.estimates.len());
+            for (sink, p) in pred.sinks.iter().zip(&pred.estimates) {
+                assert_eq!(sink, &net.node(p.sink).name);
+                assert!(p.slew.value().is_finite() && p.slew.value() >= 0.0);
+                assert!(p.delay.value().is_finite() && p.delay.value() >= 0.0);
+            }
+        }
+        // Malformed SPEF is a typed error, not a panic.
+        assert!(matches!(
+            est.predict_spef("*D_NET oops"),
+            Err(CoreError::BadInput(_))
+        ));
+        // Untrained estimators still refuse.
+        let fresh = WireTimingEstimator::new(&quick_cfg(), 7);
+        assert!(matches!(
+            fresh.predict_spef(&text),
+            Err(CoreError::NotTrained)
+        ));
+    }
+
+    /// A trained estimator saved to a temp file, for corruption tests.
+    fn saved_checkpoint(tag: &str) -> std::path::PathBuf {
+        let train_nets = nets(8, 5);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+        let path = std::env::temp_dir().join(format!("gnntrans_corrupt_{tag}.bin"));
+        est.save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_rejects_truncated_checkpoint() {
+        let path = saved_checkpoint("trunc");
+        let bytes = std::fs::read(&path).unwrap();
+        for keep in [0, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                matches!(
+                    WireTimingEstimator::load(&path),
+                    Err(CoreError::Checkpoint(_))
+                ),
+                "truncation at {keep} must be a Checkpoint error"
+            );
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_and_missing_file() {
+        let path = saved_checkpoint("magic");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[..4].copy_from_slice(b"NOPE");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_shape_and_config_corruption() {
+        use tensor::ParamSet;
+        let path = saved_checkpoint("shape");
+        let loaded = tensor::serialize::load_file(&path).unwrap();
+
+        // Rewrite the checkpoint with one corruption at a time.
+        let rewrite = |mutate: &dyn Fn(&str, &Mat) -> Mat| {
+            let mut out = ParamSet::new();
+            for (name, mat) in loaded.iter() {
+                out.add(name, mutate(name, mat));
+            }
+            tensor::serialize::save_file(&out, &path).unwrap();
+        };
+
+        // A weight matrix with the wrong shape.
+        rewrite(&|name, mat| {
+            if name == "__config" || name.starts_with("__scaler") {
+                mat.clone()
+            } else {
+                Mat::zeros(mat.rows() + 1, mat.cols())
+            }
+        });
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+
+        // A config whose dimensions are garbage.
+        rewrite(&|name, mat| {
+            if name == "__config" {
+                Mat::row_vector(vec![f32::NAN, 1.0, 8.0, 2.0, 8.0, 15.0, 5e-3])
+            } else {
+                mat.clone()
+            }
+        });
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+
+        // heads not dividing hidden.
+        rewrite(&|name, mat| {
+            if name == "__config" {
+                Mat::row_vector(vec![2.0, 1.0, 8.0, 3.0, 8.0, 15.0, 5e-3])
+            } else {
+                mat.clone()
+            }
+        });
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+
+        // A scaler with a zero std column.
+        rewrite(&|name, mat| {
+            if name == "__scaler_node" {
+                let mut m = mat.clone();
+                m.set(1, 0, 0.0);
+                m
+            } else {
+                mat.clone()
+            }
+        });
+        assert!(matches!(
+            WireTimingEstimator::load(&path),
+            Err(CoreError::Checkpoint(_))
+        ));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod scaler;
 pub mod timers;
 
 pub use dataset::{Dataset, DatasetBuilder, Sample};
-pub use estimator::{EstimatorConfig, PathEstimate, Plan, WireTimingEstimator};
+pub use estimator::{EstimatorConfig, NetPrediction, PathEstimate, Plan, WireTimingEstimator};
 pub use features::NetContext;
 
 use std::error::Error;
@@ -73,6 +73,9 @@ pub enum CoreError {
     NotTrained,
     /// Inconsistent inputs (message explains).
     BadInput(String),
+    /// A saved-estimator checkpoint is corrupt, truncated, or
+    /// structurally inconsistent (message explains what was wrong).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +87,7 @@ impl fmt::Display for CoreError {
             CoreError::Tensor(e) => write!(f, "serialization failure: {e}"),
             CoreError::NotTrained => write!(f, "estimator has not been trained"),
             CoreError::BadInput(m) => write!(f, "bad input: {m}"),
+            CoreError::Checkpoint(m) => write!(f, "bad checkpoint: {m}"),
         }
     }
 }

@@ -116,11 +116,30 @@ impl Scaler {
     ///
     /// Panics when `m` does not have exactly two rows.
     pub fn from_mat(m: &Mat) -> Self {
-        assert_eq!(m.rows(), 2, "scaler matrix must be 2 x width");
-        Scaler {
-            mean: (0..m.cols()).map(|c| m.get(0, c)).collect(),
-            std: (0..m.cols()).map(|c| m.get(1, c)).collect(),
+        Self::try_from_mat(m).expect("scaler matrix must be 2 x width with finite mean, std > 0")
+    }
+
+    /// Fallible [`Scaler::from_mat`] for untrusted checkpoint data:
+    /// rejects wrong shapes, non-finite entries and non-positive stds
+    /// (which would turn inference into division by zero) instead of
+    /// panicking.
+    pub fn try_from_mat(m: &Mat) -> Result<Self, String> {
+        if m.rows() != 2 || m.cols() == 0 {
+            return Err(format!(
+                "scaler matrix must be 2 x width, got {} x {}",
+                m.rows(),
+                m.cols()
+            ));
         }
+        let mean: Vec<f32> = (0..m.cols()).map(|c| m.get(0, c)).collect();
+        let std: Vec<f32> = (0..m.cols()).map(|c| m.get(1, c)).collect();
+        if mean.iter().any(|v| !v.is_finite()) {
+            return Err("scaler mean contains a non-finite value".into());
+        }
+        if std.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err("scaler std contains a non-finite or non-positive value".into());
+        }
+        Ok(Scaler { mean, std })
     }
 }
 
@@ -160,6 +179,20 @@ mod tests {
         let s2 = Scaler::from_mat(&s.to_mat());
         assert_eq!(s, s2);
         assert_eq!(s.width(), 3);
+    }
+
+    #[test]
+    fn try_from_mat_rejects_corrupt_shapes_and_values() {
+        assert!(Scaler::try_from_mat(&Mat::zeros(3, 2)).is_err());
+        assert!(Scaler::try_from_mat(&Mat::zeros(2, 0)).is_err());
+        // std of zero would divide by zero at inference time.
+        let mut zero_std = Mat::zeros(2, 1);
+        zero_std.set(0, 0, 1.0);
+        assert!(Scaler::try_from_mat(&zero_std).is_err());
+        let mut nan_mean = Mat::from_vec(2, 1, vec![f32::NAN, 1.0]).unwrap();
+        assert!(Scaler::try_from_mat(&nan_mean).is_err());
+        nan_mean.set(0, 0, 0.5);
+        assert!(Scaler::try_from_mat(&nan_mean).is_ok());
     }
 
     #[test]

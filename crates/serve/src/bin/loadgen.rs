@@ -1,0 +1,435 @@
+//! Load generator + benchmark driver for the inference server.
+//!
+//! ```text
+//! # default: in-process worker sweep (1 vs 8 workers), writes BENCH_serve.json
+//! cargo run -p serve --release --bin loadgen
+//!
+//! # fixed-rate mode against the in-process sweep
+//! cargo run -p serve --release --bin loadgen -- --rate 200
+//!
+//! # closed-loop against an already-running server (single run)
+//! cargo run -p serve --release --bin loadgen -- --url 127.0.0.1:8080
+//! ```
+//!
+//! Closed-loop mode: each connection sends the next request the moment
+//! the previous response arrives (measures capacity). Fixed-rate mode:
+//! each connection paces requests at `rate / connections` per second
+//! (measures latency under a target offered load).
+
+use rcnet::spef::SpefHeader;
+use serve::{Client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+struct Args {
+    url: Option<String>,
+    duration: Duration,
+    connections: usize,
+    rate: Option<f64>,
+    sweep: Vec<usize>,
+    nets_per_request: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            url: None,
+            duration: Duration::from_secs(5),
+            connections: 16,
+            rate: None,
+            sweep: vec![1, 8],
+            nets_per_request: 4,
+            out: "BENCH_serve.json".into(),
+        }
+    }
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args::default();
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--url" => args.url = Some(need(&mut argv, "--url")?),
+            "--duration-s" => {
+                let s: f64 = need(&mut argv, "--duration-s")?
+                    .parse()
+                    .map_err(|_| "--duration-s needs a number".to_string())?;
+                args.duration = Duration::from_secs_f64(s.max(0.1));
+            }
+            "--connections" => {
+                args.connections = need(&mut argv, "--connections")?
+                    .parse()
+                    .map_err(|_| "--connections needs an integer".to_string())?;
+                args.connections = args.connections.max(1);
+            }
+            "--rate" => {
+                let r: f64 = need(&mut argv, "--rate")?
+                    .parse()
+                    .map_err(|_| "--rate needs a number".to_string())?;
+                args.rate = Some(r.max(0.1));
+            }
+            "--workers-sweep" => {
+                args.sweep = need(&mut argv, "--workers-sweep")?
+                    .split(',')
+                    .map(|w| w.trim().parse::<usize>().map(|w| w.max(1)))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--workers-sweep needs e.g. `1,8`".to_string())?;
+                if args.sweep.is_empty() {
+                    return Err("--workers-sweep needs at least one entry".into());
+                }
+            }
+            "--nets-per-request" => {
+                args.nets_per_request = need(&mut argv, "--nets-per-request")?
+                    .parse::<usize>()
+                    .map_err(|_| "--nets-per-request needs an integer".to_string())?
+                    .max(1);
+            }
+            "--out" => args.out = need(&mut argv, "--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen: benchmark driver for the serve crate\n\
+                     \n  --url HOST:PORT        target a running server (default: in-process sweep)\
+                     \n  --duration-s S         measurement window per run (default 5)\
+                     \n  --connections N        concurrent connections (default 16)\
+                     \n  --rate RPS             fixed-rate mode at RPS total (default: closed-loop)\
+                     \n  --workers-sweep A,B    in-process worker counts to sweep (default 1,8)\
+                     \n  --nets-per-request N   nets per predict request (default 4)\
+                     \n  --out PATH             result file (default BENCH_serve.json)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Trains the benchmark model: paper-shaped (hidden 24, heads 4) so
+/// per-net inference cost is representative and the worker sweep
+/// measures inference scaling rather than HTTP overhead. Heavier than
+/// [`demo_model`], which favours startup speed for tests.
+fn bench_model() -> gnntrans::WireTimingEstimator {
+    use gnntrans::{DatasetBuilder, EstimatorConfig};
+    use netgen::nets::{NetConfig, NetGenerator};
+    let mut g = NetGenerator::new(
+        7,
+        NetConfig {
+            nodes_min: 4,
+            nodes_max: 14,
+            ..Default::default()
+        },
+    );
+    let nets: Vec<_> = (0..24).map(|i| g.net(format!("bm{i}"), i % 3 == 0)).collect();
+    let data = DatasetBuilder::new(8).build(&nets).expect("bench nets featurize");
+    let mut est = gnntrans::WireTimingEstimator::new(
+        &EstimatorConfig {
+            gnn_layers: 3,
+            attn_layers: 2,
+            hidden: 24,
+            heads: 4,
+            mlp_hidden: 32,
+            epochs: 12,
+            lr: 3e-3,
+        },
+        7,
+    );
+    est.train(&data).expect("bench training converges");
+    est
+}
+
+/// Pre-renders a pool of predict request bodies from generated nets so
+/// the hot loop does no net generation or SPEF writing.
+fn request_pool(nets_per_request: usize) -> Vec<String> {
+    use netgen::nets::{NetConfig, NetGenerator};
+    let mut g = NetGenerator::new(
+        99,
+        NetConfig {
+            nodes_min: 4,
+            nodes_max: 12,
+            ..Default::default()
+        },
+    );
+    let header = SpefHeader::default();
+    (0..32)
+        .map(|i| {
+            let nets: Vec<_> = (0..nets_per_request)
+                .map(|j| g.net(format!("lg{i}_{j}"), (i + j) % 3 == 0))
+                .collect();
+            let spef = rcnet::spef::write(&header, &nets);
+            let mut body = String::from("{\"spef\":");
+            obs::json::push_string(&mut body, &spef);
+            body.push('}');
+            body
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct RunResult {
+    workers: Option<usize>,
+    ok: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Sorted latencies in seconds.
+    latencies: Vec<f64>,
+}
+
+impl RunResult {
+    fn throughput(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.latencies.len() as f64 - 1.0) * p / 100.0).round() as usize;
+        self.latencies[idx.min(self.latencies.len() - 1)]
+    }
+}
+
+/// One measurement run against `addr`.
+fn drive(addr: SocketAddr, bodies: &[String], args: &Args, workers: Option<usize>) -> RunResult {
+    let started = Instant::now();
+    let deadline = started + args.duration;
+    let per_conn_interval = args
+        .rate
+        .map(|r| Duration::from_secs_f64(args.connections as f64 / r));
+    let handles: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let bodies = bodies.to_vec();
+            let rate_tick = per_conn_interval;
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+                let mut ok = 0u64;
+                let mut errors = 0u64;
+                let mut latencies = Vec::with_capacity(4096);
+                let mut i = c; // offset so connections do not sync on one body
+                let mut next_send = Instant::now();
+                while Instant::now() < deadline {
+                    if let Some(tick) = rate_tick {
+                        let now = Instant::now();
+                        if now < next_send {
+                            std::thread::sleep(next_send - now);
+                        }
+                        next_send += tick;
+                    }
+                    let body = &bodies[i % bodies.len()];
+                    i += 1;
+                    let sent = Instant::now();
+                    match client.request("POST", "/v1/predict", Some(body)) {
+                        Ok(r) if r.status == 200 => {
+                            ok += 1;
+                            latencies.push(sent.elapsed().as_secs_f64());
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (ok, errors, latencies)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for h in handles {
+        let (o, e, l) = h.join().expect("loadgen connection thread panicked");
+        ok += o;
+        errors += e;
+        latencies.extend(l);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunResult {
+        workers,
+        ok,
+        errors,
+        elapsed: started.elapsed(),
+        latencies,
+    }
+}
+
+fn push_run(out: &mut String, r: &RunResult) {
+    out.push('{');
+    if let Some(w) = r.workers {
+        out.push_str("\"workers\":");
+        out.push_str(&w.to_string());
+        out.push(',');
+    }
+    out.push_str("\"requests_ok\":");
+    out.push_str(&r.ok.to_string());
+    out.push_str(",\"requests_err\":");
+    out.push_str(&r.errors.to_string());
+    out.push_str(",\"elapsed_s\":");
+    obs::json::push_f64(out, r.elapsed.as_secs_f64());
+    out.push_str(",\"throughput_rps\":");
+    obs::json::push_f64(out, r.throughput());
+    out.push_str(",\"latency_ms\":{");
+    for (i, (name, p)) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("max", 100.0)]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        obs::json::push_f64(out, r.percentile(*p) * 1e3);
+    }
+    out.push_str("}}");
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn render_report(args: &Args, runs: &[RunResult]) -> String {
+    let mut out = String::from("{\"schema\":\"serve.loadgen.v1\",\"mode\":");
+    obs::json::push_string(&mut out, if args.rate.is_some() { "fixed-rate" } else { "closed-loop" });
+    out.push_str(",\"host_cores\":");
+    out.push_str(&host_cores().to_string());
+    if let Some(r) = args.rate {
+        out.push_str(",\"target_rps\":");
+        obs::json::push_f64(&mut out, r);
+    }
+    out.push_str(",\"duration_s\":");
+    obs::json::push_f64(&mut out, args.duration.as_secs_f64());
+    out.push_str(",\"connections\":");
+    out.push_str(&args.connections.to_string());
+    out.push_str(",\"nets_per_request\":");
+    out.push_str(&args.nets_per_request.to_string());
+    out.push_str(",\"runs\":[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_run(&mut out, r);
+    }
+    out.push(']');
+    if runs.len() >= 2 {
+        let (first, last) = (&runs[0], &runs[runs.len() - 1]);
+        if let (Some(a), Some(b)) = (first.workers, last.workers) {
+            out.push_str(&format!(",\"speedup\":{{\"label\":\"{b}v{a}\",\"throughput\":"));
+            obs::json::push_f64(&mut out, last.throughput() / first.throughput().max(1e-9));
+            out.push_str("}}");
+            return out;
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn summarize(r: &RunResult) {
+    let who = match r.workers {
+        Some(w) => format!("{w} workers"),
+        None => "remote target".to_string(),
+    };
+    eprintln!(
+        "loadgen: {who}: {:.1} req/s ({} ok, {} err), latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        r.throughput(),
+        r.ok,
+        r.errors,
+        r.percentile(50.0) * 1e3,
+        r.percentile(95.0) * 1e3,
+        r.percentile(99.0) * 1e3,
+    );
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("loadgen: {m}");
+            std::process::exit(2);
+        }
+    };
+    let bodies = request_pool(args.nets_per_request);
+    let mut runs = Vec::new();
+
+    if let Some(url) = &args.url {
+        let addr: SocketAddr = match url.parse() {
+            Ok(a) => a,
+            Err(_) => {
+                eprintln!("loadgen: --url must be HOST:PORT, got `{url}`");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("loadgen: driving {addr} for {:?}", args.duration);
+        let run = drive(addr, &bodies, &args, None);
+        summarize(&run);
+        runs.push(run);
+    } else {
+        // In-process sweep: train once, save, and load the same
+        // checkpoint into each server so every run serves identical
+        // weights.
+        eprintln!("loadgen: training benchmark model for the sweep");
+        let ckpt =
+            std::env::temp_dir().join(format!("serve_loadgen_model_{}.bin", std::process::id()));
+        bench_model().save(&ckpt).expect("save bench model");
+        for &workers in &args.sweep {
+            let estimator =
+                gnntrans::WireTimingEstimator::load(&ckpt).expect("reload demo model");
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                queue_capacity: 1024,
+                ..Default::default()
+            };
+            let server = Server::start(cfg, estimator, "loadgen-demo").expect("start server");
+            let addr = server.local_addr();
+            // Short warmup so thread spawn + first-touch costs stay out
+            // of the measured window.
+            let warm = Args {
+                duration: Duration::from_millis(300),
+                rate: None,
+                connections: args.connections,
+                nets_per_request: args.nets_per_request,
+                ..Default::default()
+            };
+            drive(addr, &bodies, &warm, None);
+            eprintln!("loadgen: measuring {workers} worker(s) for {:?}", args.duration);
+            let run = drive(addr, &bodies, &args, Some(workers));
+            summarize(&run);
+            runs.push(run);
+            server.shutdown();
+        }
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    let report = render_report(&args, &runs);
+    // Validate our own emission before writing.
+    if let Err(e) = serve::json::parse(&report) {
+        eprintln!("loadgen: BUG: report is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: wrote {}", args.out);
+    if runs.len() >= 2 {
+        let speedup = runs[runs.len() - 1].throughput() / runs[0].throughput().max(1e-9);
+        eprintln!(
+            "loadgen: throughput speedup {} -> {} workers: {speedup:.2}x",
+            runs[0].workers.unwrap_or(0),
+            runs[runs.len() - 1].workers.unwrap_or(0),
+        );
+        let cores = host_cores();
+        let top = runs.iter().filter_map(|r| r.workers).max().unwrap_or(1);
+        if cores < top {
+            eprintln!(
+                "loadgen: note: host has {cores} core(s) — the worker pool is \
+                 compute-bound, so parallel speedup requires >= {top} cores; \
+                 this run validates correctness under concurrency, not scaling"
+            );
+        }
+    }
+    let total_errors: u64 = runs.iter().map(|r| r.errors).sum();
+    if runs.iter().all(|r| r.ok == 0) {
+        eprintln!("loadgen: FAIL: no successful requests (errors: {total_errors})");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,345 @@
+//! The inference server binary.
+//!
+//! ```text
+//! # serve a saved checkpoint
+//! cargo run -p serve --release --bin serve -- --model model.bin --addr 127.0.0.1:8080
+//!
+//! # no checkpoint handy? train a tiny demo model in-process
+//! cargo run -p serve --release --bin serve -- --train-demo
+//!
+//! # in-process smoke test (used by scripts/check.sh): ephemeral port,
+//! # one predict + healthz + metrics + hot-reload, clean shutdown
+//! cargo run -p serve --release --bin serve -- --smoke
+//! ```
+//!
+//! Shuts down gracefully (drains the queue) on SIGTERM / ctrl-c or
+//! `POST /admin/shutdown`.
+
+use serve::json::Json;
+use serve::{demo_model, Client, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; the main loop polls it.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std links libc on every unix target, so the raw symbol is
+    // available without a libc crate dependency (offline build env).
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    cfg: ServeConfig,
+    model: Option<String>,
+    train_demo: bool,
+    smoke: bool,
+    obs_json: Option<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            ..Default::default()
+        },
+        model: None,
+        train_demo: false,
+        smoke: false,
+        obs_json: None,
+    };
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => args.cfg.addr = need(&mut argv, "--addr")?,
+            "--workers" => {
+                args.cfg.workers = need(&mut argv, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--queue-cap" => {
+                args.cfg.queue_capacity = need(&mut argv, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "--queue-cap needs an integer".to_string())?;
+            }
+            "--batch-max" => {
+                args.cfg.batch_max = need(&mut argv, "--batch-max")?
+                    .parse()
+                    .map_err(|_| "--batch-max needs an integer".to_string())?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = need(&mut argv, "--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms needs an integer".to_string())?;
+                args.cfg.deadline = Duration::from_millis(ms.max(1));
+            }
+            "--model" => args.model = Some(need(&mut argv, "--model")?),
+            "--train-demo" => args.train_demo = true,
+            "--smoke" => args.smoke = true,
+            "--obs-json" => args.obs_json = Some(need(&mut argv, "--obs-json")?),
+            "--help" | "-h" => {
+                println!(
+                    "serve: wire-timing inference server\n\
+                     \n  --addr HOST:PORT   bind address (default 127.0.0.1:8080; port 0 = ephemeral)\
+                     \n  --workers N        worker threads (default: cpu count)\
+                     \n  --queue-cap N      bounded queue capacity (default 256)\
+                     \n  --batch-max N      micro-batch size cap (default 16)\
+                     \n  --deadline-ms N    per-request deadline (default 5000)\
+                     \n  --model PATH       checkpoint to serve (from WireTimingEstimator::save)\
+                     \n  --train-demo       train a small synthetic model instead of loading one\
+                     \n  --smoke            run the in-process smoke test and exit\
+                     \n  --obs-json PATH    write the obs run report on exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.model.is_some() && args.train_demo {
+        return Err("--model and --train-demo are mutually exclusive".into());
+    }
+    if args.model.is_none() && !args.train_demo && !args.smoke {
+        return Err("supply --model PATH or --train-demo (see --help)".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("serve: {m}");
+            std::process::exit(2);
+        }
+    };
+    let code = if args.smoke { smoke(args) } else { run(args) };
+    std::process::exit(code);
+}
+
+fn write_obs_report(path: Option<&str>) {
+    if let Some(path) = path {
+        match std::fs::write(path, obs::RunReport::capture().to_json()) {
+            Ok(()) => eprintln!("serve: wrote obs report to {path}"),
+            Err(e) => eprintln!("serve: failed to write obs report: {e}"),
+        }
+    }
+}
+
+fn run(args: Args) -> i32 {
+    install_signal_handlers();
+    let (estimator, source) = match &args.model {
+        Some(path) => match gnntrans::WireTimingEstimator::load(path) {
+            Ok(est) => (est, path.clone()),
+            Err(e) => {
+                eprintln!("serve: cannot load `{}`: {e}", path);
+                return 1;
+            }
+        },
+        None => {
+            eprintln!("serve: training demo model (--train-demo)");
+            (demo_model(7, 24, 30), "train-demo".to_string())
+        }
+    };
+    let server = match Server::start(args.cfg, estimator, &source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start: {e}");
+            return 1;
+        }
+    };
+    eprintln!("serve: listening on {}", server.local_addr());
+    while !SIGNALLED.load(Ordering::SeqCst) && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("serve: draining and shutting down");
+    server.shutdown();
+    write_obs_report(args.obs_json.as_deref());
+    0
+}
+
+/// One SPEF net for the smoke predict.
+const SMOKE_SPEF: &str = r#"*SPEF "IEEE 1481-1998"
+*DESIGN "smoke"
+*DELIMITER :
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET smk 4.5
+*CONN
+*I u1:Z O
+*I u2:A I
+*CAP
+1 smk:1 1.5
+2 u2:A 3.0
+*RES
+1 u1:Z smk:1 25.0
+2 smk:1 u2:A 40.0
+*END
+"#;
+
+fn fail(why: &str) -> i32 {
+    eprintln!("serve: SMOKE FAIL: {why}");
+    1
+}
+
+/// End-to-end smoke test, fully in-process: ephemeral port, real
+/// sockets, one predict, health + metrics, a hot-reload under
+/// concurrent load, clean shutdown. Exit code 0 only if every check
+/// passes — `scripts/check.sh` runs this.
+fn smoke(args: Args) -> i32 {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: args.cfg.workers.clamp(2, 4),
+        ..args.cfg
+    };
+    let server = match Server::start(cfg, demo_model(11, 12, 10), "smoke-demo") {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("server failed to start: {e}")),
+    };
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    // 1. Predict one SPEF net: 200 with finite slew/delay.
+    let body = {
+        let mut b = String::from("{\"spef\":");
+        obs::json::push_string(&mut b, SMOKE_SPEF);
+        b.push('}');
+        b
+    };
+    let r = match client.request("POST", "/v1/predict", Some(&body)) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("predict request failed: {e}")),
+    };
+    if r.status != 200 {
+        return fail(&format!("predict returned {}: {}", r.status, r.body));
+    }
+    let parsed = match serve::json::parse(&r.body) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("predict body is not JSON: {e}")),
+    };
+    let Some(Json::Arr(nets)) = parsed.get("nets").cloned() else {
+        return fail("predict body missing `nets` array");
+    };
+    let mut paths_seen = 0usize;
+    for net in &nets {
+        let Some(Json::Arr(paths)) = net.get("paths").cloned() else {
+            return fail("net entry missing `paths`");
+        };
+        for p in &paths {
+            let slew = p.get("slew_ps").and_then(Json::as_f64);
+            let delay = p.get("delay_ps").and_then(Json::as_f64);
+            match (slew, delay) {
+                (Some(s), Some(d)) if s.is_finite() && d.is_finite() => paths_seen += 1,
+                _ => return fail(&format!("non-finite prediction in {p:?}")),
+            }
+        }
+    }
+    if paths_seen == 0 {
+        return fail("predict returned no paths");
+    }
+    eprintln!("serve: smoke predict ok ({paths_seen} finite paths)");
+
+    // 2. healthz.
+    match client.request("GET", "/healthz", None) {
+        Ok(r) if r.status == 200 && r.body.contains("\"status\":\"ok\"") => {}
+        Ok(r) => return fail(&format!("healthz returned {}: {}", r.status, r.body)),
+        Err(e) => return fail(&format!("healthz request failed: {e}")),
+    }
+
+    // 3. metrics: parses and contains the serve request counter.
+    match client.request("GET", "/metrics", None) {
+        Ok(r) if r.status == 200 => {
+            if serve::json::parse(&r.body).is_err() {
+                return fail("metrics body is not valid JSON");
+            }
+            if !r.body.contains("serve.http.requests") {
+                return fail("metrics body missing serve.http.requests");
+            }
+        }
+        Ok(r) => return fail(&format!("metrics returned {}", r.status)),
+        Err(e) => return fail(&format!("metrics request failed: {e}")),
+    }
+    eprintln!("serve: smoke healthz + metrics ok");
+
+    // 4. Hot-reload under concurrent predict load: zero failures.
+    let ckpt = std::env::temp_dir().join(format!("serve_smoke_reload_{}.bin", std::process::id()));
+    if let Err(e) = demo_model(23, 12, 10).save(&ckpt) {
+        return fail(&format!("cannot save reload checkpoint: {e}"));
+    }
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let spam: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = std::sync::Arc::clone(&stop);
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::new(addr);
+                let mut ok = 0u32;
+                let mut failed = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    match c.request("POST", "/v1/predict", Some(&body)) {
+                        Ok(r) if r.status == 200 => ok += 1,
+                        _ => failed += 1,
+                    }
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    let reload_body = {
+        let mut b = String::from("{\"path\":");
+        obs::json::push_string(&mut b, &ckpt.to_string_lossy());
+        b.push('}');
+        b
+    };
+    let reload = client.request("POST", "/v1/model/reload", Some(&reload_body));
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    let mut ok_total = 0u32;
+    let mut failed_total = 0u32;
+    for h in spam {
+        let (ok, failed) = h.join().expect("spam thread panicked");
+        ok_total += ok;
+        failed_total += failed;
+    }
+    let _ = std::fs::remove_file(&ckpt);
+    match reload {
+        Ok(r) if r.status == 200 && r.body.contains("\"generation\":2") => {}
+        Ok(r) => return fail(&format!("reload returned {}: {}", r.status, r.body)),
+        Err(e) => return fail(&format!("reload request failed: {e}")),
+    }
+    if failed_total > 0 || ok_total == 0 {
+        return fail(&format!(
+            "hot-reload disturbed traffic: {ok_total} ok, {failed_total} failed"
+        ));
+    }
+    eprintln!("serve: smoke hot-reload ok ({ok_total} in-flight predicts, 0 failed)");
+
+    // 5. Graceful shutdown via the admin endpoint.
+    match client.request("POST", "/admin/shutdown", None) {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => return fail(&format!("shutdown returned {}", r.status)),
+        Err(e) => return fail(&format!("shutdown request failed: {e}")),
+    }
+    server.shutdown();
+    write_obs_report(args.obs_json.as_deref());
+    eprintln!("serve: SMOKE PASS");
+    0
+}

@@ -1,0 +1,159 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, used by the
+//! smoke test, the loadgen driver, and integration tests. Std-only,
+//! like the rest of the crate.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client holding one keep-alive connection to the server.
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+/// A parsed response: status code plus body text.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body as text (the server always sends JSON).
+    pub body: String,
+    /// `Retry-After` header value, when present.
+    pub retry_after: Option<String>,
+}
+
+impl Client {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+            conn: None,
+        }
+    }
+
+    /// Overrides the per-socket read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Issues one request, reconnecting once if the pooled keep-alive
+    /// connection turns out to be dead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // The server may have closed an idle keep-alive
+                // connection; retry exactly once on a fresh one.
+                self.conn = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let conn = self.connect()?;
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        );
+        let stream = conn.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(payload.as_bytes())?;
+        stream.flush()?;
+        match read_response(conn) {
+            Ok((response, keep_open)) => {
+                if !keep_open {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn bad(m: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string())
+}
+
+/// Reads one response; the second tuple element reports whether the
+/// connection may be reused.
+fn read_response(conn: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResponse, bool)> {
+    let mut status_line = String::new();
+    if conn.read_line(&mut status_line)? == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut retry_after = None;
+    let mut keep_open = true;
+    loop {
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed in headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                }
+                "retry-after" => retry_after = Some(value.to_string()),
+                "connection" if value.eq_ignore_ascii_case("close") => keep_open = false,
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+    Ok((
+        ClientResponse {
+            status,
+            body,
+            retry_after,
+        },
+        keep_open,
+    ))
+}

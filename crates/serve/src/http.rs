@@ -1,0 +1,245 @@
+//! Minimal HTTP/1.1 over `std::net`: request parsing and response
+//! writing for the inference service. Std-only by design (the build
+//! environment is offline); supports exactly what the service needs —
+//! request line, headers, `Content-Length` bodies, keep-alive.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on a single header line (anti-abuse).
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard cap on the number of headers per request.
+const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a request line arrived
+    /// (normal end of a keep-alive session).
+    ConnectionClosed,
+    /// Malformed request (maps to 400).
+    Bad(String),
+    /// The declared body exceeds the configured limit (maps to 413).
+    BodyTooLarge(usize),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+            HttpError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Lower-cased header names with raw values.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of the (lower-cased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Bad("body is not valid UTF-8".into()))
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    // take() bounds the read so a header line cannot grow unboundedly.
+    let n = reader
+        .by_ref()
+        .take(MAX_HEADER_LINE as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_HEADER_LINE {
+        return Err(HttpError::Bad("header line too long".into()));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads one request from `reader`, enforcing `max_body` on the body.
+///
+/// # Errors
+///
+/// [`HttpError::ConnectionClosed`] at clean EOF before a request line;
+/// [`HttpError::Bad`] / [`HttpError::BodyTooLarge`] on malformed input;
+/// [`HttpError::Io`] on socket failures (including read timeouts).
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?.ok_or(HttpError::ConnectionClosed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version `{version}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or(HttpError::ConnectionClosed)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Bad(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) => v != "close",
+        // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+        None => version != "HTTP/1.0",
+    };
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        obs::json::push_string(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Writes the response to `stream`. `keep_alive` controls the
+    /// `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}

@@ -1,0 +1,31 @@
+//! Production inference service for the wire-timing estimator.
+//!
+//! A std-only HTTP/1.1 server (`std::net::TcpListener`, no external
+//! dependencies — the build environment is offline) that loads a saved
+//! [`gnntrans::WireTimingEstimator`] checkpoint and serves predictions:
+//!
+//! - `POST /v1/predict` — time nets supplied as an inline SPEF string
+//!   (or a `netgen` spec for demos); requests are queued and
+//!   micro-batched into single `predict_many` calls.
+//! - `GET /healthz` — liveness + live model generation.
+//! - `GET /metrics` — the obs registry snapshot as JSON.
+//! - `POST /v1/model/reload` — atomic hot-swap to a new checkpoint,
+//!   canary-validated first; in-flight requests finish on the old
+//!   weights.
+//! - `POST /admin/shutdown` — flag a graceful drain.
+//!
+//! Load-shedding is explicit: a bounded queue rejects overflow with
+//! `503` + `Retry-After`, and per-request deadlines turn stale queued
+//! work into `504` instead of wasted compute.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod model;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use model::{demo_model, validate_canary, LoadedModel, ModelSlot, ReloadError};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{ServeConfig, Server};

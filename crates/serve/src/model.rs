@@ -1,0 +1,272 @@
+//! Atomic model hot-reload.
+//!
+//! The live model is an `Arc<LoadedModel>` behind an `RwLock`. Workers
+//! clone the `Arc` once per batch (a read lock held for nanoseconds),
+//! so a concurrent swap never disturbs in-flight predictions: requests
+//! already holding the old `Arc` finish on the old weights, requests
+//! batched after the swap see the new ones. Candidate checkpoints are
+//! validated on a canary SPEF net *before* the swap, so a corrupt or
+//! degenerate checkpoint can never take over serving.
+
+use gnntrans::WireTimingEstimator;
+use std::sync::{Arc, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A model generation currently (or formerly) live.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The estimator itself.
+    pub estimator: WireTimingEstimator,
+    /// Where it came from (checkpoint path or "in-process").
+    pub source: String,
+    /// Monotonic generation number, starting at 1.
+    pub generation: u64,
+    /// Milliseconds since the Unix epoch at activation.
+    pub activated_unix_ms: u128,
+}
+
+/// Why a reload was refused; the previous model stays live in every case.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The checkpoint failed to load (corrupt, truncated, missing).
+    Load(gnntrans::CoreError),
+    /// The checkpoint loaded but failed canary validation.
+    Canary(String),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Load(e) => write!(f, "checkpoint rejected: {e}"),
+            ReloadError::Canary(m) => write!(f, "canary validation failed: {m}"),
+        }
+    }
+}
+
+/// A tiny two-sink SPEF net every accepted model must time to finite,
+/// non-negative values before it may serve traffic.
+const CANARY_SPEF: &str = r#"*SPEF "IEEE 1481-1998"
+*DESIGN "canary"
+*DELIMITER :
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET canary 6.0
+*CONN
+*I drv:Z O
+*I lda:A I
+*I ldb:A I
+*CAP
+1 canary:1 1.0
+2 lda:A 2.0
+3 ldb:A 1.5
+*RES
+1 drv:Z canary:1 20.0
+2 canary:1 lda:A 35.0
+3 canary:1 ldb:A 15.0
+*END
+"#;
+
+/// Runs the canary prediction against `est`.
+///
+/// # Errors
+///
+/// Describes the first non-finite / non-physical output, or the
+/// prediction failure itself.
+pub fn validate_canary(est: &WireTimingEstimator) -> Result<(), String> {
+    let preds = est
+        .predict_spef(CANARY_SPEF)
+        .map_err(|e| format!("canary prediction failed: {e}"))?;
+    for p in &preds {
+        for (sink, e) in p.sinks.iter().zip(&p.estimates) {
+            let (s, d) = (e.slew.value(), e.delay.value());
+            if !s.is_finite() || !d.is_finite() || s < 0.0 || d < 0.0 {
+                return Err(format!(
+                    "canary sink `{sink}` predicted slew {s}, delay {d}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Trains a small demonstration estimator on synthetic nets — used by
+/// `serve --train-demo`, the smoke test, and the loadgen driver when no
+/// checkpoint is supplied. Deterministic in `seed`.
+pub fn demo_model(seed: u64, nets: usize, epochs: usize) -> WireTimingEstimator {
+    use gnntrans::{DatasetBuilder, EstimatorConfig};
+    use netgen::nets::{NetConfig, NetGenerator};
+    let cfg = NetConfig {
+        nodes_min: 4,
+        nodes_max: 12,
+        ..Default::default()
+    };
+    let mut g = NetGenerator::new(seed, cfg);
+    let nets: Vec<_> = (0..nets.max(4))
+        .map(|i| g.net(format!("demo{i}"), i % 3 == 0))
+        .collect();
+    let mut builder = DatasetBuilder::new(seed.wrapping_add(1));
+    let data = builder.build(&nets).expect("demo nets must featurize");
+    let mut est = WireTimingEstimator::new(
+        &EstimatorConfig {
+            gnn_layers: 2,
+            attn_layers: 1,
+            hidden: 8,
+            heads: 2,
+            mlp_hidden: 8,
+            epochs: epochs.max(1),
+            lr: 5e-3,
+        },
+        seed,
+    );
+    est.train(&data).expect("demo training must converge");
+    est
+}
+
+/// The hot-swappable model slot.
+pub struct ModelSlot {
+    current: RwLock<Arc<LoadedModel>>,
+    reloads: obs::Counter,
+    reload_failures: obs::Counter,
+    generation_gauge: obs::Gauge,
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+impl ModelSlot {
+    /// A slot initially serving `estimator` (generation 1). The initial
+    /// model is canary-validated too: a server must never come up
+    /// serving garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReloadError::Canary`] when the initial model fails
+    /// validation.
+    pub fn new(estimator: WireTimingEstimator, source: &str) -> Result<Self, ReloadError> {
+        validate_canary(&estimator).map_err(ReloadError::Canary)?;
+        let generation_gauge = obs::gauge("serve.model.generation");
+        generation_gauge.set(1.0);
+        Ok(ModelSlot {
+            current: RwLock::new(Arc::new(LoadedModel {
+                estimator,
+                source: source.to_string(),
+                generation: 1,
+                activated_unix_ms: now_ms(),
+            })),
+            reloads: obs::counter("serve.model.reloads"),
+            reload_failures: obs::counter("serve.model.reload_failures"),
+            generation_gauge,
+        })
+    }
+
+    /// The live model. Cheap: one read lock + `Arc` clone.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.current.read().expect("model slot poisoned"))
+    }
+
+    /// Loads `path`, canary-validates it, and atomically swaps it in.
+    /// In-flight requests keep their `Arc` to the old generation and
+    /// finish undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError`]; the previous model remains live.
+    pub fn reload_from(&self, path: &str) -> Result<Arc<LoadedModel>, ReloadError> {
+        let result = WireTimingEstimator::load(path)
+            .map_err(ReloadError::Load)
+            .and_then(|est| {
+                validate_canary(&est).map_err(ReloadError::Canary)?;
+                Ok(est)
+            });
+        let est = match result {
+            Ok(est) => est,
+            Err(e) => {
+                self.reload_failures.inc();
+                obs::event!(
+                    obs::Level::Warn,
+                    "serve.model",
+                    "hot-reload rejected, keeping live model",
+                    path = path,
+                    error = e.to_string(),
+                );
+                return Err(e);
+            }
+        };
+        let mut slot = self.current.write().expect("model slot poisoned");
+        let next = Arc::new(LoadedModel {
+            estimator: est,
+            source: path.to_string(),
+            generation: slot.generation + 1,
+            activated_unix_ms: now_ms(),
+        });
+        *slot = Arc::clone(&next);
+        drop(slot);
+        self.reloads.inc();
+        self.generation_gauge.set(next.generation as f64);
+        obs::event!(
+            obs::Level::Info,
+            "serve.model",
+            "hot-reloaded model",
+            path = path,
+            generation = next.generation,
+        );
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnntrans::EstimatorConfig;
+
+    pub(crate) fn tiny_trained(seed: u64) -> WireTimingEstimator {
+        demo_model(seed, 10, 8)
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_keeps_old_arcs_alive() {
+        let slot = ModelSlot::new(tiny_trained(3), "in-process").unwrap();
+        let before = slot.current();
+        assert_eq!(before.generation, 1);
+
+        let path = std::env::temp_dir().join("serve_model_slot_test.bin");
+        tiny_trained(9).save(&path).unwrap();
+        let after = slot.reload_from(path.to_str().unwrap()).unwrap();
+        assert_eq!(after.generation, 2);
+        assert_eq!(slot.current().generation, 2);
+        // The old Arc is still usable — in-flight requests finish.
+        assert!(validate_canary(&before.estimator).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reload_rejects_corrupt_checkpoint_and_keeps_serving() {
+        let slot = ModelSlot::new(tiny_trained(4), "in-process").unwrap();
+        let path = std::env::temp_dir().join("serve_model_slot_corrupt.bin");
+        std::fs::write(&path, b"NOPE not a checkpoint").unwrap();
+        assert!(matches!(
+            slot.reload_from(path.to_str().unwrap()),
+            Err(ReloadError::Load(_))
+        ));
+        assert_eq!(slot.current().generation, 1);
+        assert!(matches!(
+            slot.reload_from("/nonexistent/model.bin"),
+            Err(ReloadError::Load(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn untrained_model_fails_canary() {
+        let est = WireTimingEstimator::new(&EstimatorConfig::plan_b_small(), 1);
+        assert!(matches!(
+            ModelSlot::new(est, "in-process"),
+            Err(ReloadError::Canary(_))
+        ));
+    }
+}

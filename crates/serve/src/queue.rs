@@ -1,0 +1,207 @@
+//! Bounded MPMC work queue with backpressure and micro-batch draining.
+//!
+//! Connection threads `try_push` (a full queue is an immediate
+//! backpressure signal, never a block); worker threads `pop_batch`,
+//! which waits for the first item then drains up to `max - 1` more
+//! without waiting — the micro-batching collector that coalesces
+//! queued requests into one `predict_many` call.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (maps to 503 + `Retry-After`).
+    Full,
+    /// The queue was closed for shutdown (maps to 503).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    depth_gauge: obs::Gauge,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items; `depth_gauge` tracks
+    /// the live depth.
+    pub fn new(capacity: usize, depth_gauge: obs::Gauge) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        depth_gauge.set(0.0);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+            depth_gauge,
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]. The item is returned alongside so the
+    /// caller can fail the request it belongs to.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        if st.closed {
+            return Err((PushError::Closed, item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        st.items.push_back(item);
+        self.depth_gauge.set(st.items.len() as f64);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then drains up to
+    /// `max` items. Returns `None` once the queue is closed *and*
+    /// empty — the worker-thread exit signal. Draining never waits for
+    /// more items beyond the first: a lone request is served
+    /// immediately, a burst is coalesced.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if !st.items.is_empty() {
+                let n = st.items.len().min(max.max(1));
+                let batch: Vec<T> = st.items.drain(..n).collect();
+                self.depth_gauge.set(st.items.len() as f64);
+                // Leftovers mean another worker can run right away.
+                if !st.items.is_empty() {
+                    self.not_empty.notify_one();
+                }
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, workers drain what is
+    /// left and then see `None` — the graceful-shutdown path.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (for tests and health output).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn q(cap: usize) -> BoundedQueue<u32> {
+        BoundedQueue::new(cap, obs::gauge("serve.test.queue_depth"))
+    }
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let queue = q(2);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.try_push(3), Err((PushError::Full, 3)));
+        assert_eq!(queue.depth(), 2);
+        let batch = queue.pop_batch(10).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        queue.try_push(4).unwrap();
+        assert_eq!(queue.pop_batch(10).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max() {
+        let queue = q(8);
+        for i in 0..6 {
+            queue.try_push(i).unwrap();
+        }
+        assert_eq!(queue.pop_batch(4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(queue.pop_batch(4).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = q(4);
+        queue.try_push(7).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(8), Err((PushError::Closed, 8)));
+        assert_eq!(queue.pop_batch(2).unwrap(), vec![7]);
+        assert!(queue.pop_batch(2).is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let queue = Arc::new(q(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || queue.pop_batch(4))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        queue.close();
+        for h in handles {
+            assert!(h.join().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let queue = Arc::new(q(16));
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut sent = 0u32;
+                    for i in 0..500 {
+                        if queue.try_push(t * 1000 + i).is_ok() {
+                            sent += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while let Some(batch) = queue.pop_batch(8) {
+                        got += batch.len() as u32;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let sent: u32 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        queue.close();
+        let got: u32 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sent, got);
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end tests over real sockets: every endpoint, the error
+//! paths, backpressure, deadlines, hot-reload under load, and graceful
+//! shutdown.
+
+use serve::json::{self, Json};
+use serve::{demo_model, Client, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_server(workers: usize) -> Server {
+    test_server_with(|cfg| cfg.workers = workers)
+}
+
+fn test_server_with(tweak: impl FnOnce(&mut ServeConfig)) -> Server {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        batch_max: 4,
+        deadline: Duration::from_secs(2),
+        ..Default::default()
+    };
+    tweak(&mut cfg);
+    Server::start(cfg, demo_model(5, 8, 6), "test").expect("server starts")
+}
+
+fn spef_body() -> String {
+    let spef = r#"*SPEF "IEEE 1481-1998"
+*DESIGN "t"
+*DELIMITER :
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET t0 3.0
+*CONN
+*I d:Z O
+*I l:A I
+*CAP
+1 t0:1 1.0
+2 l:A 2.0
+*RES
+1 d:Z t0:1 10.0
+2 t0:1 l:A 30.0
+*END
+"#;
+    let mut b = String::from("{\"spef\":");
+    obs::json::push_string(&mut b, spef);
+    b.push('}');
+    b
+}
+
+fn assert_finite_paths(body: &str) -> usize {
+    let v = json::parse(body).expect("response is JSON");
+    let Some(Json::Arr(nets)) = v.get("nets").cloned() else {
+        panic!("missing nets array in {body}");
+    };
+    let mut seen = 0;
+    for net in &nets {
+        let Some(Json::Arr(paths)) = net.get("paths").cloned() else {
+            panic!("missing paths in {net:?}");
+        };
+        for p in &paths {
+            let s = p.get("slew_ps").and_then(Json::as_f64).expect("slew_ps");
+            let d = p.get("delay_ps").and_then(Json::as_f64).expect("delay_ps");
+            assert!(s.is_finite() && d.is_finite(), "non-finite path {p:?}");
+            seen += 1;
+        }
+    }
+    seen
+}
+
+#[test]
+fn predict_returns_finite_estimates_for_spef_and_netgen() {
+    let server = test_server(2);
+    let mut client = Client::new(server.local_addr());
+
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.body);
+    assert!(assert_finite_paths(&r.body) > 0);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("model_generation").and_then(Json::as_u64), Some(1));
+
+    let r = client
+        .request(
+            "POST",
+            "/v1/predict",
+            Some(r#"{"netgen":{"seed":3,"count":3},"input_slew_ps":35.0}"#),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "body: {}", r.body);
+    assert!(assert_finite_paths(&r.body) >= 3);
+    server.shutdown();
+}
+
+#[test]
+fn predict_rejects_malformed_bodies_with_400() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    for bad in [
+        "not json at all",
+        "{\"spef\": 42}",
+        "{\"spef\": \"*NOT A SPEF\"}",
+        "{}",
+        "{\"spef\":\"x\",\"netgen\":{}}",
+        "{\"netgen\":{\"count\":0}}",
+        "{\"netgen\":{\"count\":100000}}",
+    ] {
+        let r = client.request("POST", "/v1/predict", Some(bad)).unwrap();
+        assert_eq!(r.status, 400, "`{bad}` should 400, got {}: {}", r.status, r.body);
+        assert!(r.body.contains("\"error\""), "error body: {}", r.body);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods_are_404_405() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    let r = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client.request("DELETE", "/healthz", None).unwrap();
+    assert_eq!(r.status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_413() {
+    let server = test_server_with(|cfg| {
+        cfg.workers = 1;
+        cfg.max_body_bytes = 256;
+    });
+    let mut client = Client::new(server.local_addr());
+    let big = format!("{{\"pad\":\"{}\"}}", "x".repeat(1024));
+    let r = client.request("POST", "/v1/predict", Some(&big)).unwrap();
+    assert_eq!(r.status, 413);
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_model_and_queue() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    let r = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(r.status, 200);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    let model = v.get("model").expect("model object");
+    assert_eq!(model.get("generation").and_then(Json::as_u64), Some(1));
+    assert_eq!(model.get("source").and_then(Json::as_str), Some("test"));
+    assert!(v.get("queue_depth").and_then(Json::as_u64).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn metrics_returns_obs_snapshot_with_serve_series() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    // Generate at least one predict so serve series exist.
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let r = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(Json::as_str),
+        Some("obs.run_report.v1")
+    );
+    for series in [
+        "serve.http.requests",
+        "serve.queue.depth",
+        "serve.request.seconds",
+        "serve.model.generation",
+    ] {
+        assert!(r.body.contains(series), "metrics missing {series}");
+    }
+    server.shutdown();
+}
+
+/// With zero workers nothing drains the queue, so capacity overflow
+/// must surface as 503 + Retry-After and queued work must die with 504
+/// at its deadline.
+#[test]
+fn backpressure_503_and_deadline_504_when_workers_stall() {
+    let server = test_server_with(|cfg| {
+        cfg.workers = 0;
+        cfg.queue_capacity = 2;
+        cfg.deadline = Duration::from_millis(300);
+    });
+    let addr = server.local_addr();
+
+    // Fill the queue from background threads; their requests will 504.
+    let fillers: Vec<_> = (0..2)
+        .map(|_| {
+            let body = spef_body();
+            std::thread::spawn(move || {
+                let mut c = Client::new(addr);
+                c.request("POST", "/v1/predict", Some(&body)).unwrap()
+            })
+        })
+        .collect();
+    // Give the fillers time to enqueue.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::new(addr);
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 503, "expected queue-full, got: {}", r.body);
+    assert_eq!(r.retry_after.as_deref(), Some("1"));
+
+    for f in fillers {
+        let r = f.join().unwrap();
+        assert_eq!(r.status, 504, "queued work should expire: {}", r.body);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_generation_with_zero_failed_inflight_requests() {
+    let server = test_server(2);
+    let addr = server.local_addr();
+    let ckpt = std::env::temp_dir().join(format!(
+        "serve_integration_reload_{}.bin",
+        std::process::id()
+    ));
+    demo_model(17, 8, 6).save(&ckpt).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let spam: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let body = spef_body();
+            std::thread::spawn(move || {
+                let mut c = Client::new(addr);
+                let mut ok = 0u32;
+                let mut failed = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    match c.request("POST", "/v1/predict", Some(&body)) {
+                        Ok(r) if r.status == 200 => ok += 1,
+                        _ => failed += 1,
+                    }
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut client = Client::new(addr);
+    let reload_body = {
+        let mut b = String::from("{\"path\":");
+        obs::json::push_string(&mut b, &ckpt.to_string_lossy());
+        b.push('}');
+        b
+    };
+    let r = client
+        .request("POST", "/v1/model/reload", Some(&reload_body))
+        .unwrap();
+    assert_eq!(r.status, 200, "reload failed: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("generation").and_then(Json::as_u64), Some(2));
+
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let mut ok = 0;
+    let mut failed = 0;
+    for h in spam {
+        let (o, f) = h.join().unwrap();
+        ok += o;
+        failed += f;
+    }
+    assert!(ok > 0, "no traffic flowed during the reload");
+    assert_eq!(failed, 0, "hot-reload failed {failed} in-flight requests");
+
+    // New predictions carry the new generation.
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("model_generation").and_then(Json::as_u64), Some(2));
+
+    // A bad reload leaves generation 2 serving.
+    let r = client
+        .request("POST", "/v1/model/reload", Some("{\"path\":\"/nonexistent\"}"))
+        .unwrap();
+    assert_eq!(r.status, 400);
+    let r = client.request("GET", "/healthz", None).unwrap();
+    assert!(r.body.contains("\"generation\":2"), "body: {}", r.body);
+
+    let _ = std::fs::remove_file(&ckpt);
+    server.shutdown();
+}
+
+#[test]
+fn admin_shutdown_flags_drain_and_server_stops_cleanly() {
+    let server = test_server(1);
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+    // Work flows before the drain.
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let r = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(server.shutdown_requested());
+    server.shutdown();
+    // The listener is gone: a fresh connection must fail.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut fresh = Client::new(addr);
+    assert!(fresh.request("GET", "/healthz", None).is_err());
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = test_server(2);
+    let mut client = Client::new(server.local_addr());
+    for _ in 0..20 {
+        let r = client
+            .request("POST", "/v1/predict", Some(&spef_body()))
+            .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    server.shutdown();
+}

@@ -65,6 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             worst.slew.pico_seconds()
         );
     }
+    // The one-call convenience the serving layer uses: SPEF text in,
+    // per-net predictions out, generic driving context per net.
+    let held_out = write(&header, &doc.nets[50..]);
+    let preds = estimator.predict_spef(&held_out)?;
+    println!("\npredict_spef over the same held-out nets:");
+    for p in &preds {
+        println!(
+            "  {:<10} {:>2} paths, first sink {} delay {:6.2} ps",
+            p.net,
+            p.estimates.len(),
+            p.sinks[0],
+            p.estimates[0].delay.pico_seconds()
+        );
+    }
+
     let _ = std::fs::remove_file(path);
     Ok(())
 }

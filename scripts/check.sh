@@ -6,3 +6,8 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Loopback smoke test of the inference server: ephemeral port, one SPEF
+# predict (200 + finite slew/delay), /healthz + /metrics, a hot-reload
+# under concurrent load, and a clean drain. Exit code is the verdict.
+./target/release/serve --smoke
