@@ -84,6 +84,7 @@ fn run(cfg: ExperimentConfig) {
         lr: 3e-3,
         seed: cfg.seed,
         grad_clip: Some(5.0),
+        accum: 1,
     };
     for (name, vcfg) in variants {
         eprint!("[ablation] training `{name}`... ");

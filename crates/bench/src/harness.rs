@@ -240,6 +240,7 @@ pub fn train_baselines(
             lr,
             seed: cfg.seed,
             grad_clip: Some(5.0),
+            accum: 1,
         };
         train(m.as_mut(), &batches, &tcfg)?;
     }

@@ -250,9 +250,13 @@ impl DatasetBuilder {
     /// Propagates per-net failures and empty-input rejection.
     pub fn build(&mut self, nets: &[RcNet]) -> Result<Dataset, CoreError> {
         let _span = obs::span("dataset_build");
-        let samples: Result<Vec<Sample>, CoreError> =
-            nets.iter().map(|n| self.sample_for(n)).collect();
-        let ds = Dataset::from_samples(samples?)?;
+        // Each net's golden simulation is independent; try_par_map
+        // returns samples in input order (and the lowest-index error),
+        // so the built dataset — scalers included — is byte-identical
+        // to a serial build for any `PAR_THREADS` setting.
+        let builder = &*self;
+        let samples = par::try_par_map("dataset.sample", nets, |n| builder.sample_for(n))?;
+        let ds = Dataset::from_samples(samples)?;
         obs::event!(
             obs::Level::Info,
             "gnntrans.dataset",

@@ -257,6 +257,7 @@ impl WireTimingEstimator {
                 lr: self.cfg.lr,
                 seed: 1,
                 grad_clip: Some(5.0),
+                accum: 1,
             },
         )?;
         self.scalers = Some(Scalers {
@@ -307,6 +308,7 @@ impl WireTimingEstimator {
                 lr: self.cfg.lr,
                 seed: 1,
                 grad_clip: Some(5.0),
+                accum: 1,
             },
             patience,
         )?;
@@ -360,6 +362,7 @@ impl WireTimingEstimator {
                 lr,
                 seed: 2,
                 grad_clip: Some(5.0),
+                accum: 1,
             },
         )?;
         Ok(report)
@@ -419,9 +422,11 @@ impl WireTimingEstimator {
     where
         I: IntoIterator<Item = (&'a RcNet, &'a NetContext)>,
     {
-        nets.into_iter()
-            .map(|(net, ctx)| self.predict_net(net, ctx))
-            .collect()
+        // Per-net inference is independent; the in-order try_par_map
+        // keeps both the result order and the first-failing-net error
+        // identical to the serial loop for any `PAR_THREADS` setting.
+        let pairs: Vec<(&RcNet, &NetContext)> = nets.into_iter().collect();
+        par::try_par_map("predict.net", &pairs, |&(net, ctx)| self.predict_net(net, ctx))
     }
 
     /// Parses a SPEF document and predicts every wire path of every net

@@ -16,7 +16,12 @@ use crate::batch::GraphBatch;
 use tensor::{Mat, ParamSet, Tape, Var};
 
 /// A trainable per-net wire-timing model.
-pub trait GraphModel {
+///
+/// `Sync` is a supertrait because the training and inference loops run
+/// [`GraphModel::forward`] on shared references from multiple threads
+/// (see [`crate::train`]); every model here is plain parameter data, so
+/// the bound is free.
+pub trait GraphModel: Sync {
     /// Human-readable model name (used in result tables).
     fn name(&self) -> &str;
 

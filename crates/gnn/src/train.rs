@@ -7,7 +7,7 @@ use crate::models::GraphModel;
 use crate::GnnError;
 use tensor::init::InitRng;
 use tensor::optim::Adam;
-use tensor::Tape;
+use tensor::{Mat, Tape};
 
 /// Training-loop knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,14 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Global gradient-norm clip (`None` = unclipped).
     pub grad_clip: Option<f32>,
+    /// Graphs per optimizer step. `1` (the default) reproduces the
+    /// classic per-graph SGD loop bit for bit. Larger values average
+    /// gradients over each chunk of the shuffled visit order and take
+    /// one step per chunk; the per-graph forward/backward passes inside
+    /// a chunk run on the [`par`] pool, and because the accumulation is
+    /// reduced in fixed chunk order the trained weights are identical
+    /// for any `PAR_THREADS` setting.
+    pub accum: usize,
 }
 
 impl Default for TrainConfig {
@@ -29,6 +37,7 @@ impl Default for TrainConfig {
             lr: 3e-3,
             seed: 0,
             grad_clip: Some(5.0),
+            accum: 1,
         }
     }
 }
@@ -96,21 +105,49 @@ pub fn train<M: GraphModel + ?Sized>(
             }
         }
         let mut total = 0.0f32;
-        for &bi in &order {
-            let batch = &batches[bi];
-            let targets = batch.targets.as_ref().expect("validated above");
-            let mut tape = Tape::new();
-            let loss = {
-                let _s = obs::span("forward");
-                let pred = model.forward(&mut tape, batch);
-                tape.mse_loss(pred, targets)
-            };
-            let mut grads = {
-                let _s = obs::span("backward");
-                tape.backward(loss);
-                tape.param_grads()
-            };
-            total += tape.value(loss).get(0, 0);
+        for chunk in order.chunks(cfg.accum.max(1)) {
+            // Per-graph forward/backward. Chunks of one stay on the
+            // caller's thread inside par_map's serial fast path when
+            // the pool is sized 1; larger chunks fan out, and the
+            // in-order result contract below makes the reduction — and
+            // therefore the trained weights — independent of the
+            // thread count.
+            let graph_grads = par::par_map("train.graph", chunk, |&bi| {
+                let batch = &batches[bi];
+                let targets = batch.targets.as_ref().expect("validated above");
+                let mut tape = Tape::new();
+                let loss = {
+                    let _s = obs::span("forward");
+                    let pred = model.forward(&mut tape, batch);
+                    tape.mse_loss(pred, targets)
+                };
+                let grads = {
+                    let _s = obs::span("backward");
+                    tape.backward(loss);
+                    tape.param_grads()
+                };
+                (tape.value(loss).get(0, 0), grads)
+            });
+
+            // Fixed-order reduction: sum gradients by parameter id in
+            // chunk order, then mean-scale (a chunk of one keeps the
+            // raw per-graph gradient — the seed loop's semantics).
+            let mut grads: Vec<(usize, Mat)> = Vec::new();
+            for (loss, g) in graph_grads {
+                total += loss;
+                for (id, mat) in g {
+                    match grads.iter_mut().find(|(i, _)| *i == id) {
+                        Some((_, acc)) => acc.axpy(1.0, &mat),
+                        None => grads.push((id, mat)),
+                    }
+                }
+            }
+            if chunk.len() > 1 {
+                let inv = 1.0 / chunk.len() as f32;
+                for (_, g) in &mut grads {
+                    *g = g.scale(inv);
+                }
+            }
 
             let norm: f32 = grads
                 .iter()
@@ -169,8 +206,12 @@ pub fn validation_loss<M: GraphModel + ?Sized>(
     model: &M,
     batches: &[GraphBatch],
 ) -> Result<f32, GnnError> {
-    let mut total = 0.0f32;
-    for (i, batch) in batches.iter().enumerate() {
+    // Forward-only and independent per batch; the in-order results of
+    // try_par_map keep both the summation order and the
+    // first-missing-target error identical to the serial loop.
+    let idx: Vec<usize> = (0..batches.len()).collect();
+    let losses = par::try_par_map("validate.graph", &idx, |&i| {
+        let batch = &batches[i];
         let targets = batch
             .targets
             .as_ref()
@@ -178,8 +219,9 @@ pub fn validation_loss<M: GraphModel + ?Sized>(
         let mut tape = Tape::new();
         let pred = model.forward(&mut tape, batch);
         let loss = tape.mse_loss(pred, targets);
-        total += tape.value(loss).get(0, 0);
-    }
+        Ok::<f32, GnnError>(tape.value(loss).get(0, 0))
+    })?;
+    let total: f32 = losses.iter().sum();
     Ok(total / batches.len().max(1) as f32)
 }
 

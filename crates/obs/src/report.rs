@@ -112,8 +112,61 @@ impl RunReport {
             json::push_f64(&mut out, hist.quantile(0.99));
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+
+        self.push_par_section(&mut out);
+        out.push('}');
         out
+    }
+
+    /// Emits a derived `"par"` section summarizing the parallel-compute
+    /// metrics (`par.threads` / `par.queue_depth` gauges and the
+    /// per-task-kind `par.tasks` / `par.task_seconds` series), so run
+    /// reports answer "how parallel was this run" without grepping the
+    /// raw metric arrays. Empty-but-present when nothing ran on the
+    /// pool.
+    fn push_par_section(&self, out: &mut String) {
+        let gauge = |name: &str| {
+            self.metrics
+                .gauges
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+        };
+        out.push_str(",\"par\":{\"threads\":");
+        json::push_f64(out, gauge("par.threads").unwrap_or(0.0));
+        out.push_str(",\"queue_depth\":");
+        json::push_f64(out, gauge("par.queue_depth").unwrap_or(0.0));
+        out.push_str(",\"task_kinds\":[");
+        let mut first = true;
+        for (key, count) in &self.metrics.counters {
+            if key.name != "par.tasks" {
+                continue;
+            }
+            let Some(kind) = key.label.as_deref() else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"kind\":");
+            json::push_string(out, kind);
+            out.push_str(",\"tasks\":");
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{count}"));
+            let hist = self
+                .metrics
+                .histograms
+                .iter()
+                .find(|(k, _)| k.name == "par.task_seconds" && k.label.as_deref() == Some(kind))
+                .map(|(_, h)| h);
+            out.push_str(",\"total_s\":");
+            json::push_f64(out, hist.map(|h| h.sum()).unwrap_or(0.0));
+            out.push_str(",\"p95_s\":");
+            json::push_f64(out, hist.map(|h| h.quantile(0.95)).unwrap_or(0.0));
+            out.push('}');
+        }
+        out.push_str("]}");
     }
 
     /// Writes the JSON report to `path` (plus a trailing newline).
@@ -190,6 +243,21 @@ mod tests {
         assert!(json.contains("\"name\":\"obs.test.report_hist\",\"count\":2"));
         assert!(json.contains("\"p50\":"));
         assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn report_has_derived_par_section() {
+        crate::metrics::gauge("par.threads").set(4.0);
+        crate::metrics::counter_labeled("par.tasks", Some("test.kind")).add(12);
+        let h = crate::metrics::histogram_with("par.task_seconds", Some("test.kind"), || {
+            vec![0.001, 0.01, 0.1]
+        });
+        h.observe(0.005);
+        let json = RunReport::capture().to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"par\":{\"threads\":4"));
+        assert!(json.contains("\"kind\":\"test.kind\",\"tasks\":12"));
+        assert!(json.contains("\"total_s\":"));
     }
 
     #[test]

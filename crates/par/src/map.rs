@@ -1,0 +1,253 @@
+//! Deterministic parallel map over slices.
+//!
+//! Work distribution is a single atomic index counter (self-balancing:
+//! fast lanes claim more items), but every result is written to the
+//! slot of its *input index*, so the output order — and therefore any
+//! downstream reduction order — is identical to the serial map no
+//! matter how many threads ran or how the OS scheduled them. That
+//! in-order contract is what makes dataset builds and training
+//! bit-reproducible under `PAR_THREADS`.
+
+use crate::pool::{Job, Pool};
+use crate::threads;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Latency buckets for `par.task_seconds`: 10 µs .. ~160 s, factor 4.
+fn task_bounds() -> Vec<f64> {
+    obs::exponential_bounds(1e-5, 4.0, 12)
+}
+
+/// Counts outstanding lanes and stores the first panic payload.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(lanes: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(lanes),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(p) = panic {
+            let mut slot = self.panic.lock().expect("latch poisoned");
+            slot.get_or_insert(p);
+        }
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("latch poisoned").take()
+    }
+}
+
+/// Shared lane state: claims indices, writes results to their slots.
+struct Lanes<'a, T, R, F> {
+    items: &'a [T],
+    /// Base pointer of the `Option<R>` result slots. Lanes write
+    /// disjoint slots (each index is claimed exactly once), which is
+    /// why the raw-pointer aliasing here is sound.
+    results: *mut Option<R>,
+    f: &'a F,
+    next: AtomicUsize,
+    hist: &'a obs::Histogram,
+}
+
+// SAFETY: lanes only read `items` (`T: Sync`), call `f` concurrently
+// (`F: Sync`) and write disjoint `results` slots whose `R` values are
+// produced on one thread and consumed after the latch (`R: Send`).
+unsafe impl<T: Sync, R: Send, F: Sync> Sync for Lanes<'_, T, R, F> {}
+
+impl<T, R, F: Fn(&T) -> R> Lanes<'_, T, R, F> {
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.items.len() {
+                break;
+            }
+            let t0 = Instant::now();
+            let r = (self.f)(&self.items[i]);
+            self.hist.observe(t0.elapsed().as_secs_f64());
+            // SAFETY: index `i` was claimed exactly once (fetch_add),
+            // so no other lane touches this slot; the slot outlives
+            // the lane because `par_map` waits on the latch.
+            unsafe { *self.results.add(i) = Some(r) };
+        }
+    }
+}
+
+/// Maps `f` over `items` on the global pool, returning results in input
+/// order. `kind` labels the per-task latency histogram
+/// (`par.task_seconds{kind}`) and the `par.tasks{kind}` counter.
+///
+/// Runs serially (no pool involvement) when the resolved thread count
+/// is 1 — the `PAR_THREADS=1` escape hatch — or when `items` has fewer
+/// than two elements. Output is bit-identical either way.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` after every lane has finished
+/// (so borrows stay sound).
+pub fn par_map<T, R, F>(kind: &str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let lanes = threads().min(n).max(1);
+    let hist = obs::histogram_with("par.task_seconds", Some(kind), task_bounds);
+    obs::counter_labeled("par.tasks", Some(kind)).add(n as u64);
+    if lanes == 1 {
+        return items
+            .iter()
+            .map(|it| {
+                let t0 = Instant::now();
+                let r = f(it);
+                hist.observe(t0.elapsed().as_secs_f64());
+                r
+            })
+            .collect();
+    }
+
+    let pool = Pool::global();
+    pool.ensure_workers(lanes - 1);
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let shared = Lanes {
+        items,
+        results: results.as_mut_ptr(),
+        f: &f,
+        next: AtomicUsize::new(0),
+        hist: &hist,
+    };
+    let latch = Latch::new(lanes);
+    {
+        let shared_ref = &shared;
+        let latch_ref = &latch;
+        for _ in 0..lanes - 1 {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| shared_ref.run()));
+                latch_ref.complete(outcome.err());
+            });
+            // SAFETY: the borrows erased here (`items`, `f`, `results`,
+            // the latch) all outlive the job: `latch.wait()` below does
+            // not return until every submitted job has completed, and
+            // it runs before any of them drop.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+            };
+            pool.submit(job);
+        }
+        // The caller is the final lane; a panic in it must still wait
+        // for the workers before unwinding can free the borrows.
+        let own = catch_unwind(AssertUnwindSafe(|| shared_ref.run()));
+        latch_ref.complete(own.err());
+        latch.wait();
+    }
+    if let Some(p) = latch.take_panic() {
+        resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: returns the *lowest-index* error, regardless
+/// of which lane hit an error first in wall-clock time — the same error
+/// a serial `.map(...).collect::<Result<_, _>>()` would surface.
+///
+/// # Errors
+///
+/// The error of the lowest-index failing item.
+pub fn try_par_map<T, R, E, F>(kind: &str, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map(kind, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_threads, test_threads_lock};
+
+    #[test]
+    fn results_are_in_input_order() {
+        let _g = test_threads_lock();
+        set_threads(4);
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map("test.order", &items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        set_threads(1);
+        let serial = par_map("test.order", &items, |&i| i * 2);
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map("test.empty", &empty, |&x| x).is_empty());
+        assert_eq!(par_map("test.one", &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let _g = test_threads_lock();
+        set_threads(4);
+        let items: Vec<usize> = (0..100).collect();
+        // Items 30 and 70 fail; the error must always be 30's.
+        let r = try_par_map("test.err", &items, |&i| {
+            if i == 30 || i == 70 {
+                Err(format!("bad {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "bad 30");
+        let ok: Result<Vec<usize>, String> =
+            try_par_map("test.err", &items[..20], |&i| Ok(i));
+        assert_eq!(ok.unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let _g = test_threads_lock();
+        set_threads(4);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map("test.panic", &items, |&i| {
+                assert!(i != 40, "lane panic");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicking map and keeps working.
+        let out = par_map("test.panic", &items, |&i| i + 1);
+        assert_eq!(out[63], 64);
+    }
+}

@@ -1,0 +1,86 @@
+//! The process-global worker pool.
+//!
+//! Workers are plain `std::thread`s parked on a condvar over a shared
+//! FIFO injector queue. They are spawned lazily — the first `par_map`
+//! that wants `n`-way parallelism brings the pool up to `n - 1` workers
+//! (the calling thread always participates as the `n`-th lane) — and
+//! never exit: an idle worker costs one parked thread. The queue depth
+//! is exported through the `par.queue_depth` gauge.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work. Lifetimes are erased by the submitter
+/// (see `map.rs`), which guarantees the job completes before any
+/// borrow it captures goes out of scope.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Worker threads spawned so far.
+    workers: usize,
+}
+
+pub(crate) struct Pool {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    depth: obs::Gauge,
+}
+
+impl Pool {
+    /// The process-global pool (created empty on first use).
+    pub(crate) fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                workers: 0,
+            }),
+            work_ready: Condvar::new(),
+            depth: obs::gauge("par.queue_depth"),
+        })
+    }
+
+    /// Grows the pool to at least `n` worker threads.
+    pub(crate) fn ensure_workers(&'static self, n: usize) {
+        let mut st = self.state.lock().expect("par pool poisoned");
+        while st.workers < n {
+            let id = st.workers;
+            st.workers += 1;
+            std::thread::Builder::new()
+                .name(format!("par-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn par worker");
+        }
+    }
+
+    /// Enqueues `job` and wakes one worker.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut st = self.state.lock().expect("par pool poisoned");
+        st.queue.push_back(job);
+        self.depth.set(st.queue.len() as f64);
+        drop(st);
+        self.work_ready.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("par pool poisoned");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        self.depth.set(st.queue.len() as f64);
+                        break job;
+                    }
+                    st = self.work_ready.wait(st).expect("par pool poisoned");
+                }
+            };
+            job();
+        }
+    }
+
+    /// Number of spawned workers (for tests and the run report).
+    pub(crate) fn worker_count(&self) -> usize {
+        self.state.lock().expect("par pool poisoned").workers
+    }
+}

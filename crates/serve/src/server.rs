@@ -491,10 +491,10 @@ fn render_predictions(
 }
 
 /// Predicts one job's nets, returning the rendered body.
-fn predict_job(model: &LoadedModel, job: &PredictJob) -> Result<String, JobError> {
-    let pairs = job.nets.iter().zip(job.ctxs.iter());
+fn predict_job(model: &LoadedModel, nets: &[RcNet], ctxs: &[NetContext]) -> Result<String, JobError> {
+    let pairs = nets.iter().zip(ctxs.iter());
     match model.estimator.predict_many(pairs) {
-        Ok(per_net) => Ok(render_predictions(model, &job.nets, &per_net)),
+        Ok(per_net) => Ok(render_predictions(model, nets, &per_net)),
         Err(e) => Err(JobError::Predict(e.to_string())),
     }
 }
@@ -548,8 +548,21 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
             }
             Err(_) => {
-                for job in &live {
-                    let outcome = predict_job(&model, job);
+                // Re-predict each job separately so one poisoned net
+                // cannot fail its neighbours' requests. The per-job
+                // predictions fan out on the par pool (the reply
+                // senders are !Sync, so the map runs over the net/ctx
+                // slices and the replies go out afterwards, in the
+                // same job order as the serial loop).
+                let parts: Vec<(&[RcNet], &[NetContext])> = live
+                    .iter()
+                    .map(|j| (j.nets.as_slice(), j.ctxs.as_slice()))
+                    .collect();
+                let outcomes =
+                    par::par_map("serve.job", &parts, |&(nets, ctxs)| {
+                        predict_job(&model, nets, ctxs)
+                    });
+                for (job, outcome) in live.iter().zip(outcomes) {
                     if outcome.is_ok() {
                         nets_served.add(job.nets.len() as u64);
                     }

@@ -1,0 +1,424 @@
+//! Cache-blocked, register-tiled `f32` GEMM kernels.
+//!
+//! Three entry points, all row-major, all accumulating in ascending-`k`
+//! order per output element (so repeated calls are bit-identical and
+//! the parallel/serial determinism contract upstream holds):
+//!
+//! * [`gemm`] — `C += A * B`, the workhorse behind [`crate::Mat::matmul`].
+//! * [`gemm_tn`] — `C += Aᵀ * B` with `A` stored untransposed.
+//! * [`gemm_nt`] — `C += A * Bᵀ` with `B` stored untransposed.
+//!
+//! The `_tn` / `_nt` variants exist for the autograd backward pass:
+//! `d(A*B)` needs `G*Bᵀ` and `Aᵀ*G`, and materializing the transposes
+//! first costs an extra allocation + copy per matmul gradient.
+//!
+//! # Blocking scheme
+//!
+//! [`gemm`] follows the classic three-level GotoBLAS decomposition,
+//! sized small because every matrix this workspace multiplies is small
+//! (node-count × feature-dim, at most a few hundred rows):
+//!
+//! * the `j` dimension is split into panels of `NC` columns and the `k`
+//!   dimension into blocks of `KC` rows; each `KC x NC` block of `B` is
+//!   **packed** into a contiguous scratch buffer so the micro-kernel
+//!   streams it linearly regardless of `B`'s row stride;
+//! * the micro-kernel computes an `MR x NR` (6 x 16) tile of `C` held
+//!   entirely in registers — 12 8-lane accumulators plus the two `B`
+//!   vectors and the `A` broadcast fill the 16 AVX registers;
+//! * there is no per-element zero test (the seed kernel branched on
+//!   `a == 0.0` for every scalar, which costs more than the multiply
+//!   it occasionally saves, breaks vectorization, and breaks IEEE
+//!   semantics for non-finite operands).
+//!
+//! # Dispatch
+//!
+//! The portable build targets baseline x86-64 (SSE2), which leaves
+//! half the lanes and all fused multiply-adds on the table. Each entry
+//! point therefore runtime-dispatches once per call to an
+//! AVX2+FMA-compiled clone of the same body (`#[target_feature]` +
+//! `#[inline(always)]` body, the std-only equivalent of function
+//! multi-versioning) when the CPU supports it. The FMA path contracts
+//! `mul`+`add` into one rounding; both paths keep the ascending-`k`
+//! order, so each path is individually deterministic.
+
+/// Micro-tile rows (of `A` / `C`).
+const MR: usize = 6;
+/// Micro-tile columns (of `B` / `C`); two 8-lane `f32` vectors.
+const NR: usize = 16;
+/// `k`-dimension cache block: `KC x NR` of packed `B` stays in L1.
+const KC: usize = 128;
+/// `j`-dimension cache block (columns of one packed `B` panel).
+const NC: usize = 512;
+
+/// Fused or separate multiply-accumulate, selected at monomorphization
+/// time. `mul_add` only reaches hardware FMA inside the
+/// `#[target_feature(enable = "fma")]` clone — in the portable clone it
+/// would call the (slow) libm fallback, hence the flag.
+#[inline(always)]
+fn madd<const FMA: bool>(acc: f32, a: f32, b: f32) -> f32 {
+    if FMA {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// `C += A * B` for row-major `A` (`m x k`), `B` (`k x n`), `C` (`m x n`).
+///
+/// Shape agreement is the caller's contract (the `Mat` wrappers assert
+/// it); slice lengths are debug-asserted.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    {
+        // SAFETY: the required target features were just detected.
+        unsafe { gemm_avx2(m, k, n, a, b, c) };
+        return;
+    }
+    gemm_body::<false>(m, k, n, a, b, c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_avx2(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_body::<true>(m, k, n, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_body<const FMA: bool>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    // Reusable packing buffers per call: one KC x NC panel of B, one
+    // MR x KC micro-panel of A (p-major, MR-interleaved, zero-padded on
+    // the row edge so the micro-kernel never branches on `mr`).
+    let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
+    let mut apack = vec![0.0f32; MR * KC.min(k)];
+    for jj in (0..n).step_by(NC) {
+        let nc = NC.min(n - jj);
+        for kk in (0..k).step_by(KC) {
+            let kc = KC.min(k - kk);
+            // Pack B[kk..kk+kc, jj..jj+nc] row-contiguous.
+            for p in 0..kc {
+                let src = (kk + p) * n + jj;
+                panel[p * nc..p * nc + nc].copy_from_slice(&b[src..src + nc]);
+            }
+            for ii in (0..m).step_by(MR) {
+                let mr = MR.min(m - ii);
+                // Pack A[ii..ii+mr, kk..kk+kc] as apack[p*MR + r].
+                apack[..MR * kc].fill(0.0);
+                for (r, row) in (ii..ii + mr).enumerate() {
+                    for p in 0..kc {
+                        apack[p * MR + r] = a[row * k + kk + p];
+                    }
+                }
+                for jt in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jt);
+                    micro_kernel::<FMA>(
+                        &apack, &panel, c, n, nc, ii, jj + jt, jt, kc, mr, nr,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Computes one `mr x nr` tile of `C` (`mr <= MR`, `nr <= NR`) from the
+/// packed A micro-panel (`apack[p * MR + r]`, zero-padded rows) and the
+/// packed B panel (`kc x nc`, tile starting at column `jt`).
+/// Accumulators live in a fixed-size register block; `k` ascends, so
+/// per-element summation order is deterministic.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel<const FMA: bool>(
+    apack: &[f32],
+    panel: &[f32],
+    c: &mut [f32],
+    n: usize,
+    nc: usize,
+    ii: usize,
+    j0: usize,
+    jt: usize,
+    kc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if nr == NR {
+        // Full-width tile: fixed-bound loops the compiler unrolls and
+        // vectorizes. Both operand streams are contiguous; the padded
+        // A rows multiply into accumulators that are never stored.
+        for p in 0..kc {
+            let brow: &[f32; NR] = panel[p * nc + jt..p * nc + jt + NR]
+                .try_into()
+                .expect("packed tile row");
+            let acol: &[f32; MR] = apack[p * MR..(p + 1) * MR]
+                .try_into()
+                .expect("packed A column");
+            for (acc_row, &av) in acc.iter_mut().zip(acol) {
+                for (s, &bv) in acc_row.iter_mut().zip(brow) {
+                    *s = madd::<FMA>(*s, av, bv);
+                }
+            }
+        }
+    } else {
+        // Edge tile: same loop with a runtime column bound.
+        for p in 0..kc {
+            let brow = &panel[p * nc + jt..p * nc + jt + nr];
+            let acol = &apack[p * MR..(p + 1) * MR];
+            for (acc_row, &av) in acc.iter_mut().zip(acol) {
+                for (s, &bv) in acc_row.iter_mut().zip(brow) {
+                    *s = madd::<FMA>(*s, av, bv);
+                }
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().take(mr).enumerate() {
+        let dst = &mut c[(ii + r) * n + j0..(ii + r) * n + j0 + nr];
+        for (d, s) in dst.iter_mut().zip(acc_row) {
+            *d += s;
+        }
+    }
+}
+
+/// `C += Aᵀ * B` for row-major `A` (`k x m`), `B` (`k x n`), `C` (`m x n`),
+/// without materializing `Aᵀ`.
+///
+/// Walks `A` and `B` a row at a time (both contiguous) and applies
+/// rank-1 updates to `C`; per output element `k` ascends.
+pub fn gemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    {
+        // SAFETY: the required target features were just detected.
+        unsafe { gemm_tn_avx2(k, m, n, a, b, c) };
+        return;
+    }
+    gemm_tn_body::<false>(k, m, n, a, b, c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_tn_avx2(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_tn_body::<true>(k, m, n, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_tn_body<const FMA: bool>(
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (d, &bv) in crow.iter_mut().zip(brow) {
+                *d = madd::<FMA>(*d, av, bv);
+            }
+        }
+    }
+}
+
+/// `C += A * Bᵀ` for row-major `A` (`m x k`), `B` (`n x k`), `C` (`m x n`),
+/// without materializing `Bᵀ`.
+///
+/// Each output element is a dot product of two contiguous rows.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    {
+        // SAFETY: the required target features were just detected.
+        unsafe { gemm_nt_avx2(m, k, n, a, b, c) };
+        return;
+    }
+    gemm_nt_body::<false>(m, k, n, a, b, c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_nt_avx2(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_body::<true>(m, k, n, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_nt_body<const FMA: bool>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, d) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            // Four partial sums break the serial FMA dependency chain;
+            // the lane-merge order is fixed, so results stay
+            // deterministic for a given build/CPU.
+            let mut s = [0.0f32; 4];
+            let mut chunks_a = arow.chunks_exact(4);
+            let mut chunks_b = brow.chunks_exact(4);
+            for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+                for l in 0..4 {
+                    s[l] = madd::<FMA>(s[l], ca[l], cb[l]);
+                }
+            }
+            let mut tail = 0.0f32;
+            for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+                tail = madd::<FMA>(tail, x, y);
+            }
+            *d += ((s[0] + s[1]) + (s[2] + s[3])) + tail;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: plain triple loop, `k` ascending.
+    fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] += s;
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, seed: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as f32 * 0.61 + seed).sin()) * 0.9)
+            .collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], what: &str) {
+        assert_eq!(got.len(), want.len());
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                "{what} element {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_across_edge_shapes() {
+        // Shapes straddling every blocking boundary: MR/NR edges, the
+        // KC block edge, and the NC panel edge.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (6, 16, 16),
+            (5, 9, 17),
+            (13, 130, 9),
+            (7, 127, 129),
+            (2, 256, 3),
+            (33, 24, 33),
+            (64, 64, 64),
+        ] {
+            let a = fill(m * k, 1.0);
+            let b = fill(k * n, 2.0);
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            assert_close(&c, &gemm_ref(m, k, n, &a, &b), &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_is_bitwise_repeatable() {
+        // Determinism contract: the kernel sums in a fixed order, so
+        // repeated invocations on the same inputs agree bit for bit.
+        let (m, k, n) = (23, 300, 37);
+        let a = fill(m * k, 3.0);
+        let b = fill(k * n, 4.0);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c1);
+        gemm(m, k, n, &a, &b, &mut c2);
+        assert_eq!(
+            c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let (m, k, n) = (6, 11, 5);
+        // A stored k x m, B stored k x n.
+        let a = fill(k * m, 5.0);
+        let b = fill(k * n, 6.0);
+        let mut at = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                at[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut c_tn = vec![0.0f32; m * n];
+        gemm_tn(k, m, n, &a, &b, &mut c_tn);
+        assert_close(&c_tn, &gemm_ref(m, k, n, &at, &b), "tn");
+
+        // A stored m x k, B stored n x k.
+        let a2 = fill(m * k, 7.0);
+        let b2 = fill(n * k, 8.0);
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b2[j * k + p];
+            }
+        }
+        let mut c_nt = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a2, &b2, &mut c_nt);
+        assert_close(&c_nt, &gemm_ref(m, k, n, &a2, &bt), "nt");
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let (m, k, n) = (2, 3, 2);
+        let a = fill(m * k, 0.2);
+        let b = fill(k * n, 0.4);
+        let mut c = vec![1.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        let base = gemm_ref(m, k, n, &a, &b);
+        for (got, exp) in c.iter().zip(&base) {
+            assert!((got - (exp + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        gemm(0, 4, 0, &[], &[], &mut c);
+        let mut c2 = vec![5.0f32; 4];
+        gemm(2, 0, 2, &[], &[], &mut c2);
+        assert_eq!(c2, vec![5.0; 4]);
+    }
+}

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod init;
+pub mod kernels;
 pub mod mat;
 pub mod optim;
 pub mod serialize;

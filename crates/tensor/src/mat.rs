@@ -121,12 +121,73 @@ impl Mat {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product. Shapes must agree.
+    /// Matrix product, via the cache-blocked register-tiled kernel
+    /// ([`crate::kernels::gemm`]). Shapes must agree.
     ///
     /// # Panics
     ///
     /// Panics when `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        crate::kernels::gemm(
+            self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose: `self` is
+    /// `k x m`, `rhs` is `k x n`, the result is `m x n`. The autograd
+    /// backward pass uses this for weight gradients (`Aᵀ * G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.rows != rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.cols, rhs.cols);
+        crate::kernels::gemm_tn(
+            self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data,
+        );
+        out
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose: `self` is
+    /// `m x k`, `rhs` is `n x k`, the result is `m x n`. The autograd
+    /// backward pass uses this for input gradients (`G * Bᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.rows);
+        crate::kernels::gemm_nt(
+            self.rows, self.cols, rhs.rows, &self.data, &rhs.data, &mut out.data,
+        );
+        out
+    }
+
+    /// The seed scalar matmul (branchy `i-k-j` triple loop), kept as a
+    /// correctness oracle and the baseline the `compute` benchmark
+    /// measures kernel speedups against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.cols != rhs.rows`.
+    pub fn matmul_reference(&self, rhs: &Mat) -> Mat {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul {}x{} * {}x{}",
@@ -262,6 +323,45 @@ mod tests {
         let b = Mat::from_vec(2, 1, vec![1., -1.]).unwrap();
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[-1., -1.]);
+    }
+
+    fn assert_close(got: &Mat, want: &Mat) {
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() <= 1e-5 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference_kernel() {
+        // The blocked kernel and the seed scalar kernel agree to rounding
+        // (the FMA dispatch path fuses mul+add, so bitwise equality with
+        // the scalar loop is not guaranteed), including on a matrix with
+        // explicit zeros (the seed kernel's skip path).
+        let mut a = Mat::from_vec(5, 7, (0..35).map(|i| (i as f32 * 0.3).sin()).collect()).unwrap();
+        let b = Mat::from_vec(7, 9, (0..63).map(|i| (i as f32 * 0.7).cos()).collect()).unwrap();
+        a.set(0, 0, 0.0);
+        a.set(3, 4, 0.0);
+        assert_close(&a.matmul(&b), &a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn fused_transpose_variants_match_explicit_transpose() {
+        let a = Mat::from_vec(4, 3, (0..12).map(|i| (i as f32 * 0.9).sin()).collect()).unwrap();
+        let g = Mat::from_vec(4, 5, (0..20).map(|i| (i as f32 * 0.4).cos()).collect()).unwrap();
+        // Aᵀ * G, A stored 4x3 -> result 3x5.
+        assert_close(&a.matmul_tn(&g), &a.transpose().matmul(&g));
+        // G * Aᵀ ... use shapes m x k, n x k: G (4x5), W (3x5) -> 4x3.
+        let w = Mat::from_vec(3, 5, (0..15).map(|i| (i as f32 * 1.1).sin()).collect()).unwrap();
+        assert_close(&g.matmul_nt(&w), &g.matmul(&w.transpose()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_tn_checks_inner_dim() {
+        let a = Mat::zeros(3, 2);
+        let b = Mat::zeros(2, 4);
+        let _ = a.matmul_tn(&b);
     }
 
     #[test]

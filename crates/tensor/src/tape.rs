@@ -385,8 +385,10 @@ impl Tape {
             match op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
-                    let da = g.matmul(&self.nodes[b].value.transpose());
-                    let db = self.nodes[a].value.transpose().matmul(&g);
+                    // Fused transpose kernels: dA = G * Bᵀ, dB = Aᵀ * G,
+                    // with no transposed temporaries materialized.
+                    let da = g.matmul_nt(&self.nodes[b].value);
+                    let db = self.nodes[a].value.matmul_tn(&g);
                     self.nodes[a].grad.axpy(1.0, &da);
                     self.nodes[b].grad.axpy(1.0, &db);
                 }

@@ -3,9 +3,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --workspace -- -D warnings
+# --workspace: the root package is only the facade — without it the
+# bench/serve binaries the smoke steps below run would go stale.
+cargo build --release --workspace
+cargo test -q --workspace
+
+# Parallel-determinism gates: dataset builds and accumulated training
+# must be bit-identical to serial no matter the pool size. The tests
+# flip the in-process thread count themselves; PAR_THREADS=4 also
+# exercises env resolution on the way in.
+PAR_THREADS=4 cargo test -q -p gnntrans --test par_determinism
+PAR_THREADS=4 cargo test -q -p gnn --test par_determinism
+
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Compute-layer smoke: kernels + 1-vs-N pool runs at a reduced step
+# count; writes a throwaway report and fails on any kernel/pool panic.
+cargo run -q -p bench --release --bin compute -- --steps 2 \
+    --out target/BENCH_compute_smoke.json
 
 # Loopback smoke test of the inference server: ephemeral port, one SPEF
 # predict (200 + finite slew/delay), /healthz + /metrics, a hot-reload

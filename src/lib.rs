@@ -20,6 +20,7 @@ pub use gnn;
 pub use gnntrans;
 pub use netgen;
 pub use numeric;
+pub use par;
 pub use rcnet;
 pub use rcsim;
 pub use sta;
