@@ -549,20 +549,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             Err(_) => {
                 // Re-predict each job separately so one poisoned net
-                // cannot fail its neighbours' requests. The per-job
-                // predictions fan out on the par pool (the reply
-                // senders are !Sync, so the map runs over the net/ctx
-                // slices and the replies go out afterwards, in the
-                // same job order as the serial loop).
-                let parts: Vec<(&[RcNet], &[NetContext])> = live
-                    .iter()
-                    .map(|j| (j.nets.as_slice(), j.ctxs.as_slice()))
-                    .collect();
-                let outcomes =
-                    par::par_map("serve.job", &parts, |&(nets, ctxs)| {
-                        predict_job(&model, nets, ctxs)
-                    });
-                for (job, outcome) in live.iter().zip(outcomes) {
+                // cannot fail its neighbours' requests. The loop over
+                // jobs stays serial so every reply goes out the moment
+                // its own prediction finishes — one slow job must not
+                // sit on its neighbours' responses (or push them past
+                // their deadlines). Each job still fans out per net on
+                // the par pool inside `predict_many`.
+                for job in &live {
+                    let outcome = predict_job(&model, &job.nets, &job.ctxs);
                     if outcome.is_ok() {
                         nets_served.add(job.nets.len() as u64);
                     }
