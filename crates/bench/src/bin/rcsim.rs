@@ -1,0 +1,300 @@
+//! Golden-timer solver benchmark: sparse LDLᵀ vs the dense LU oracle.
+//!
+//! Times end-to-end golden wire timing (assembly, factorization,
+//! trapezoidal integration, measurement) per net size, topology (tree vs
+//! loops) and SI mode, for both solver backends, and writes
+//! `BENCH_rcsim.json`. The dense oracle is skipped above
+//! `--dense-max` nodes (its per-step solve is O(n²); at n = 2000 a
+//! single net takes a minute).
+//!
+//! ```text
+//! cargo run -p bench --release --bin rcsim [-- --reps N --steps N \
+//!     --seed S --out PATH --smoke]
+//! ```
+//!
+//! The factor/solve split is read from the `rcsim.factor_seconds` /
+//! `rcsim.solve_seconds` histogram deltas around each run. Like the
+//! other benches, the report records `host_cores`; every measurement
+//! here is single-threaded, so the caveat only matters for comparing
+//! absolute numbers across hosts.
+
+use netgen::nets::{NetConfig, NetGenerator};
+use rcnet::{RcNet, Seconds};
+use rcsim::{GoldenTimer, PathTiming, SiMode, SolverKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    reps: usize,
+    steps: usize,
+    seed: u64,
+    dense_max: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 3,
+        steps: 1000,
+        seed: 2023,
+        dense_max: 500,
+        out: "BENCH_rcsim.json".into(),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1);
+        match argv[i].as_str() {
+            "--reps" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.reps = v;
+                    i += 1;
+                }
+            }
+            "--steps" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.steps = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.seed = v;
+                    i += 1;
+                }
+            }
+            "--dense-max" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.dense_max = v;
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = value {
+                    args.out = v.clone();
+                    i += 1;
+                }
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!(
+                    "rcsim: unknown flag `{other}`\
+                     \n  --reps N       nets per configuration (default 3)\
+                     \n  --steps N      integration steps per net (default 1000)\
+                     \n  --seed S       net-generation seed\
+                     \n  --dense-max N  largest size the dense oracle runs at (default 500)\
+                     \n  --out PATH     result file (default BENCH_rcsim.json)\
+                     \n  --smoke        tiny sizes for CI"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args.reps = args.reps.max(1);
+    args.steps = args.steps.max(50);
+    args
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One (size, topology, SI) configuration's nets.
+fn nets_for(seed: u64, nodes: usize, nontree: bool, si_on: bool, count: usize) -> Vec<RcNet> {
+    let cfg = NetConfig {
+        nodes_min: nodes,
+        nodes_max: nodes,
+        // SI rows need coupled nets; quiet rows stay uncoupled so the
+        // two rows measure distinct RHS work.
+        coupling_prob: if si_on { 0.5 } else { 0.0 },
+        ..Default::default()
+    };
+    let mut g = NetGenerator::new(seed ^ (nodes as u64) << 2 | u64::from(si_on), cfg);
+    (0..count)
+        .map(|i| g.net(format!("b{nodes}_{i}"), nontree))
+        .collect()
+}
+
+struct SolverRun {
+    total_s: f64,
+    factor_s: f64,
+    solve_s: f64,
+    timings: Vec<Vec<PathTiming>>,
+}
+
+/// Times one backend over a set of nets, reading the factor/solve split
+/// from the obs histogram deltas around the run.
+fn run_solver(
+    nets: &[RcNet],
+    solver: SolverKind,
+    steps: usize,
+    si_on: bool,
+) -> SolverRun {
+    let factor_h = obs::histogram("rcsim.factor_seconds");
+    let solve_h = obs::histogram("rcsim.solve_seconds");
+    let (f0, s0) = (factor_h.sum(), solve_h.sum());
+    let timer = GoldenTimer::default().with_steps(steps).with_solver(solver);
+    let t0 = Instant::now();
+    let timings = nets
+        .iter()
+        .map(|net| {
+            let si = if si_on && !net.couplings().is_empty() {
+                SiMode::WorstCase {
+                    aggressor_ramp: Seconds::from_ps(20.0),
+                }
+            } else {
+                SiMode::Off
+            };
+            timer
+                .time_net(net, Seconds::from_ps(20.0), si)
+                .expect("golden timing")
+        })
+        .collect();
+    SolverRun {
+        total_s: t0.elapsed().as_secs_f64(),
+        factor_s: factor_h.sum() - f0,
+        solve_s: solve_h.sum() - s0,
+        timings,
+    }
+}
+
+/// Largest |sparse - dense| over every path's slew and delay, seconds.
+fn max_abs_diff(a: &[Vec<PathTiming>], b: &[Vec<PathTiming>]) -> f64 {
+    let mut worst = 0.0_f64;
+    for (ta, tb) in a.iter().zip(b) {
+        for (pa, pb) in ta.iter().zip(tb) {
+            worst = worst
+                .max((pa.delay.value() - pb.delay.value()).abs())
+                .max((pa.slew.value() - pb.slew.value()).abs());
+        }
+    }
+    worst
+}
+
+struct Row {
+    nodes: usize,
+    nontree: bool,
+    si_on: bool,
+    nets: usize,
+    sparse: SolverRun,
+    dense: Option<SolverRun>,
+    agreement_s: Option<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes: &[usize] = if args.smoke { &[20, 100] } else { &[20, 100, 500, 2000] };
+    let steps = if args.smoke { 300 } else { args.steps };
+    let dense_max = if args.smoke { 100 } else { args.dense_max };
+
+    // Warm-up so the first measured row doesn't absorb one-time costs
+    // (lazy metric registration, allocator growth, page faults).
+    let warmup = nets_for(args.seed ^ 0xdead, 20, true, true, 1);
+    run_solver(&warmup, SolverKind::SparseLdl, 200, true);
+    run_solver(&warmup, SolverKind::DenseLu, 200, true);
+
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        for nontree in [false, true] {
+            for si_on in [false, true] {
+                let nets = nets_for(args.seed, nodes, nontree, si_on, args.reps);
+                let sparse = run_solver(&nets, SolverKind::SparseLdl, steps, si_on);
+                let dense = (nodes <= dense_max)
+                    .then(|| run_solver(&nets, SolverKind::DenseLu, steps, si_on));
+                let agreement_s = dense
+                    .as_ref()
+                    .map(|d| max_abs_diff(&sparse.timings, &d.timings));
+                let speedup = dense
+                    .as_ref()
+                    .map(|d| d.total_s / sparse.total_s.max(1e-12));
+                eprintln!(
+                    "rcsim: n={nodes} {} si={}: sparse {:.1} nets/s{}{}",
+                    if nontree { "loops" } else { "tree " },
+                    u8::from(si_on),
+                    nets.len() as f64 / sparse.total_s.max(1e-12),
+                    speedup
+                        .map(|s| format!(", {s:.1}x vs dense"))
+                        .unwrap_or_default(),
+                    agreement_s
+                        .map(|d| format!(", agree {d:.2e} s"))
+                        .unwrap_or_default(),
+                );
+                rows.push(Row {
+                    nodes,
+                    nontree,
+                    si_on,
+                    nets: nets.len(),
+                    sparse,
+                    dense,
+                    agreement_s,
+                });
+            }
+        }
+    }
+
+    let cores = host_cores();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"bench.rcsim.v1\"");
+    let _ = write!(out, ",\"host_cores\":{cores}");
+    let _ = write!(out, ",\"reps\":{}", args.reps);
+    let _ = write!(out, ",\"steps\":{steps}");
+    let _ = write!(out, ",\"dense_max_nodes\":{dense_max}");
+    let _ = write!(out, ",\"smoke\":{}", args.smoke);
+    out.push_str(",\"rows\":[");
+    let push_run = |out: &mut String, name: &str, nets: usize, run: &SolverRun| {
+        let _ = write!(out, ",\"{name}\":{{\"total_s\":");
+        obs::json::push_f64(out, run.total_s);
+        out.push_str(",\"nets_per_s\":");
+        obs::json::push_f64(out, nets as f64 / run.total_s.max(1e-12));
+        out.push_str(",\"factor_s\":");
+        obs::json::push_f64(out, run.factor_s);
+        out.push_str(",\"solve_s\":");
+        obs::json::push_f64(out, run.solve_s);
+        out.push('}');
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"nodes\":{},\"topology\":\"{}\",\"si\":{},\"nets\":{}",
+            row.nodes,
+            if row.nontree { "loops" } else { "tree" },
+            row.si_on,
+            row.nets,
+        );
+        push_run(&mut out, "sparse", row.nets, &row.sparse);
+        if let Some(dense) = &row.dense {
+            push_run(&mut out, "dense", row.nets, dense);
+            out.push_str(",\"speedup\":");
+            obs::json::push_f64(&mut out, dense.total_s / row.sparse.total_s.max(1e-12));
+        }
+        if let Some(d) = row.agreement_s {
+            out.push_str(",\"agreement_max_abs_s\":");
+            obs::json::push_f64(&mut out, d);
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+
+    std::fs::write(&args.out, format!("{out}\n")).expect("write report");
+    eprintln!("rcsim: wrote {}", args.out);
+
+    // Gate on physics, not just speed: where both backends ran they
+    // must agree to sub-nanosecond-in-seconds precision.
+    for row in &rows {
+        if let Some(d) = row.agreement_s {
+            assert!(
+                d <= 1e-9,
+                "solver disagreement {d:.3e} s at n={} (tolerance 1e-9 s)",
+                row.nodes
+            );
+        }
+    }
+}

@@ -1,10 +1,17 @@
-//! Dense linear algebra and statistics substrate for the wire-timing workspace.
+//! Dense and sparse linear algebra plus statistics for the wire-timing
+//! workspace.
 //!
-//! The parasitic networks handled by the estimator are small (tens to a few
-//! hundred nodes), so a straightforward dense row-major [`Matrix`] with a
-//! partial-pivoting [`lu::LuFactor`] covers every solver need of the MNA
-//! simulator ([`rcsim`](https://docs.rs/rcsim)) and the moment engine
-//! ([`elmore`](https://docs.rs/elmore)) without pulling in an external BLAS.
+//! Two solver families cover every need of the MNA simulator
+//! ([`rcsim`](https://docs.rs/rcsim)) and the moment engine
+//! ([`elmore`](https://docs.rs/elmore)) without pulling in an external
+//! BLAS:
+//!
+//! * a dense row-major [`Matrix`] with a partial-pivoting
+//!   [`lu::LuFactor`] — small systems, and the test oracle for the
+//!   sparse path;
+//! * a CSR [`sparse::SparseMatrix`] with a fill-reducing sparse LDLᵀ
+//!   ([`sparse::LdlFactor`]) for the near-tree SPD systems transient
+//!   simulation hammers — near-linear in the nonzero count.
 //!
 //! # Examples
 //!
@@ -22,11 +29,13 @@
 
 pub mod lu;
 pub mod matrix;
+pub mod sparse;
 pub mod stats;
 pub mod vector;
 
 pub use lu::LuFactor;
 pub use matrix::Matrix;
+pub use sparse::{LdlFactor, LdlSymbolic, SparseMatrix, TripletBuilder};
 pub use vector::Vector;
 
 use std::error::Error;

@@ -112,23 +112,35 @@ impl LuFactor {
             });
         }
         let mut x = Vector::zeros(self.n);
+        self.solve_into(b.as_slice(), x.as_mut_slice());
+        Ok(x)
+    }
+
+    /// Allocation-free solve: writes `A⁻¹ b` into `x`. `b` and `x` must
+    /// both have length `dim()` (they may not alias).
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-length mismatches.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solution length mismatch");
         // Apply permutation and forward-substitute L (unit diagonal).
         for i in 0..self.n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back-substitute U.
         for i in (0..self.n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..self.n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
     }
 
     /// Determinant of the original matrix.

@@ -1,0 +1,347 @@
+//! Compressed-sparse-row matrix and its triplet builder.
+
+use crate::{Matrix, NumericError, Vector};
+
+/// Accumulates `(row, col, value)` triplets and compresses them into a
+/// [`SparseMatrix`]. Duplicate coordinates are summed, matching how MNA
+/// stamps accumulate conductances.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates an empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-dedup) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses the triplets into CSR form: rows in order, columns
+    /// sorted within each row, duplicates summed. Explicit zeros are
+    /// kept so a stamped pattern survives even when values cancel.
+    pub fn build(mut self) -> SparseMatrix {
+        self.entries.sort_unstable_by_key(|e| (e.0, e.1));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in self.entries {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("duplicate follows an entry") += v;
+                continue;
+            }
+            last = Some((r, c));
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A sparse matrix in compressed-sparse-row (CSR) form.
+///
+/// Rows are stored contiguously with column indices sorted ascending and
+/// no duplicates, the invariants the LDLᵀ factorization relies on. For a
+/// symmetric matrix the CSR rows double as CSC columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row-major, sorted within each row.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, parallel to [`SparseMatrix::col_idx`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable stored values; the pattern is fixed, so this is how a
+    /// same-pattern matrix (e.g. a new timestep's iteration matrix) is
+    /// updated in place.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The `(column, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The stored value at `(r, c)`, or 0 for an unstored coordinate.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.index_of(r, c).map_or(0.0, |p| self.values[p])
+    }
+
+    /// The storage index of entry `(r, c)`, if present. Entry values can
+    /// then be rewritten through [`SparseMatrix::values_mut`] without
+    /// re-searching the pattern.
+    pub fn index_of(&self, r: usize, c: usize) -> Option<usize> {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[lo..hi]
+            .binary_search(&c)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &Vector) -> Vector {
+        let mut out = Vector::zeros(self.rows);
+        self.mul_vec_into(v.as_slice(), out.as_mut_slice());
+        out
+    }
+
+    /// Allocation-free matvec: `out = self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "matvec input length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[p] * v[self.col_idx[p]];
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Whether the matrix is structurally and numerically symmetric
+    /// within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[p];
+                if (self.values[p] - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Expands to a dense [`Matrix`] (test oracle / dense solver path).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m[(r, self.col_idx[p])] += self.values[p];
+            }
+        }
+        m
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping entries with
+    /// `|value| <= drop_tol`.
+    pub fn from_dense(m: &Matrix, drop_tol: f64) -> Self {
+        let mut b = TripletBuilder::new(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m[(r, c)];
+                if v.abs() > drop_tol {
+                    b.add(r, c, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Validates square shape, returning the dimension.
+    pub(crate) fn require_square(&self, op: &'static str) -> Result<usize, NumericError> {
+        if self.rows != self.cols {
+            return Err(NumericError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (self.cols, self.rows),
+                op,
+            });
+        }
+        Ok(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(0, 0, 2.0);
+        b.add(2, 1, -1.0);
+        b.add(0, 2, 3.0);
+        b.add(1, 1, 4.0);
+        b.add(0, 0, 0.5); // duplicate accumulates
+        b.add(1, 2, -1.0);
+        b.add(2, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let m = sample();
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.row(0), (&[0usize, 2][..], &[2.5, 3.0][..]));
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.row_ptr(), &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let v = Vector::from(vec![1.0, -2.0, 0.5]);
+        let sparse = m.mul_vec(&v);
+        let dense = m.to_dense().mul_vec(&v);
+        for i in 0..3 {
+            assert!((sparse[i] - dense[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 2.0);
+        b.add(1, 0, 2.0);
+        b.add(1, 1, 3.0);
+        let m = b.build();
+        assert!(m.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+        assert!(!SparseMatrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn from_dense_round_trips() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, -2.0], &[0.0, 0.0, 0.0], &[4.0, 0.0, 3.0]])
+            .unwrap();
+        let s = SparseMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 4);
+        let back = s.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(back[(r, c)], d[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_finds_entries() {
+        let m = sample();
+        let p = m.index_of(0, 2).unwrap();
+        assert_eq!(m.values()[p], 3.0);
+        assert_eq!(m.index_of(0, 1), None);
+    }
+
+    #[test]
+    fn explicit_zero_survives() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 0.0);
+        b.add(1, 1, 1.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.index_of(0, 0), Some(0));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = TripletBuilder::new(3, 3).build();
+        assert_eq!(m.nnz(), 0);
+        let v = Vector::from(vec![1.0, 1.0, 1.0]);
+        assert_eq!(m.mul_vec(&v).as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_triplet_panics() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(2, 0, 1.0);
+    }
+}

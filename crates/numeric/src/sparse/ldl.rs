@@ -1,0 +1,515 @@
+//! Up-looking sparse LDLᵀ factorization for SPD matrices.
+//!
+//! The factorization computes `P A Pᵀ = L D Lᵀ` with `L` unit lower
+//! triangular and `D` diagonal, in two phases:
+//!
+//! * [`LdlSymbolic::analyze`] — elimination tree and per-column nonzero
+//!   counts of `L` from the pattern alone (plus the fill-reducing
+//!   permutation). This is the expensive graph analysis and depends only
+//!   on the sparsity pattern.
+//! * [`LdlFactor`] — the numeric phase. Because the transient
+//!   simulator's iteration matrix `A = C/h + G/2` keeps the pattern of
+//!   `G` for every step size `h`, a new `h` re-runs only the numeric
+//!   phase against the cached symbolic analysis
+//!   ([`LdlFactor::refactor`]), allocation-free.
+//!
+//! The algorithm is the classic up-looking method (Davis, *Algorithm
+//! 849: LDL*): row `k` of `L` is found by a sparse triangular solve
+//! whose pattern is read off the elimination tree.
+
+use super::csr::SparseMatrix;
+use super::order::{is_permutation, min_degree_order};
+use crate::{NumericError, Vector};
+
+const NO_PARENT: usize = usize::MAX;
+
+/// The symbolic analysis of an LDLᵀ factorization: permutation,
+/// elimination tree and column pointers of `L`. Reusable across any
+/// matrix with the same sparsity pattern.
+#[derive(Debug, Clone)]
+pub struct LdlSymbolic {
+    n: usize,
+    /// `perm[k]` = original index eliminated at step `k`.
+    perm: Vec<usize>,
+    /// Inverse permutation: `pinv[orig] = eliminated position`.
+    pinv: Vec<usize>,
+    /// Elimination tree over permuted indices (`NO_PARENT` = root).
+    parent: Vec<usize>,
+    /// Column pointers of `L` (`n + 1` entries).
+    l_colptr: Vec<usize>,
+}
+
+impl LdlSymbolic {
+    /// Analyzes `a` under a [`min_degree_order`] fill-reducing ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `a` is not square.
+    pub fn analyze(a: &SparseMatrix) -> Result<Self, NumericError> {
+        let perm = min_degree_order(a);
+        Self::analyze_with(a, perm)
+    }
+
+    /// Analyzes `a` under an explicit elimination order (`perm[k]` = the
+    /// original index eliminated at step `k`). The identity permutation
+    /// factorizes `A` as given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `a` is not square
+    /// and [`NumericError::InvalidInput`] when `perm` is not a
+    /// permutation of `0..n`.
+    pub fn analyze_with(a: &SparseMatrix, perm: Vec<usize>) -> Result<Self, NumericError> {
+        let n = a.require_square("ldl symbolic")?;
+        if !is_permutation(&perm, n) {
+            return Err(NumericError::InvalidInput(format!(
+                "ordering is not a permutation of 0..{n}"
+            )));
+        }
+        let mut pinv = vec![0usize; n];
+        for (k, &orig) in perm.iter().enumerate() {
+            pinv[orig] = k;
+        }
+
+        // Elimination tree + column counts (Davis ldl_symbolic). For a
+        // symmetric matrix the CSR row `perm[k]` is the permuted column
+        // `k`; only entries landing strictly above the diagonal
+        // (pinv < k) matter.
+        let mut parent = vec![NO_PARENT; n];
+        let mut flag = vec![NO_PARENT; n];
+        let mut l_nz = vec![0usize; n];
+        for k in 0..n {
+            flag[k] = k;
+            let (cols, _) = a.row(perm[k]);
+            for &c in cols {
+                let mut i = pinv[c];
+                if i < k {
+                    // Walk from i towards the root, counting one L entry
+                    // per unvisited node on the path.
+                    while flag[i] != k {
+                        if parent[i] == NO_PARENT {
+                            parent[i] = k;
+                        }
+                        l_nz[i] += 1;
+                        flag[i] = k;
+                        i = parent[i];
+                    }
+                }
+            }
+        }
+        let mut l_colptr = vec![0usize; n + 1];
+        for i in 0..n {
+            l_colptr[i + 1] = l_colptr[i] + l_nz[i];
+        }
+        Ok(LdlSymbolic {
+            n,
+            perm,
+            pinv,
+            parent,
+            l_colptr,
+        })
+    }
+
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (strictly sub-diagonal) nonzeros in `L`.
+    pub fn nnz_l(&self) -> usize {
+        self.l_colptr[self.n]
+    }
+
+    /// The elimination order (`perm[k]` = original index at step `k`).
+    pub fn order(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Runs the numeric phase, consuming nothing: the symbolic object
+    /// can factor any same-pattern matrix repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// See [`LdlFactor::refactor`].
+    pub fn factor(&self, a: &SparseMatrix) -> Result<LdlFactor, NumericError> {
+        let mut f = LdlFactor {
+            sym: self.clone(),
+            l_idx: vec![0; self.nnz_l()],
+            l_val: vec![0.0; self.nnz_l()],
+            d: vec![0.0; self.n],
+            y: vec![0.0; self.n],
+            pattern: vec![0; self.n],
+            flag: vec![NO_PARENT; self.n],
+            l_fill: vec![0; self.n],
+        };
+        f.refactor(a)?;
+        Ok(f)
+    }
+}
+
+/// A numeric LDLᵀ factorization bound to one [`LdlSymbolic`] analysis.
+#[derive(Debug, Clone)]
+pub struct LdlFactor {
+    sym: LdlSymbolic,
+    /// Row indices of `L`, column-major within `sym.l_colptr`.
+    l_idx: Vec<usize>,
+    /// Values of `L`, parallel to `l_idx`.
+    l_val: Vec<f64>,
+    /// The diagonal `D`.
+    d: Vec<f64>,
+    // Numeric-phase scratch, kept so refactor() never allocates.
+    y: Vec<f64>,
+    pattern: Vec<usize>,
+    flag: Vec<usize>,
+    l_fill: Vec<usize>,
+}
+
+impl LdlFactor {
+    /// One-shot convenience: analyze (minimum-degree order) and factor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic and numeric failures.
+    pub fn new(a: &SparseMatrix) -> Result<Self, NumericError> {
+        LdlSymbolic::analyze(a)?.factor(a)
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.sym.n
+    }
+
+    /// The symbolic analysis this factor is bound to.
+    pub fn symbolic(&self) -> &LdlSymbolic {
+        &self.sym
+    }
+
+    /// Number of nonzeros in `L` plus the diagonal (for fill metrics).
+    pub fn nnz(&self) -> usize {
+        self.sym.nnz_l() + self.sym.n
+    }
+
+    /// The diagonal of `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Recomputes the numeric factorization for `a`, which must have the
+    /// pattern the symbolic analysis was built from (a superset pattern
+    /// is an error; a subset is fine — missing entries are zeros).
+    /// Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] on a wrong-sized matrix
+    /// and [`NumericError::Singular`] when a pivot `d[k]` is not
+    /// positive — the input was not SPD (up to roundoff).
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<(), NumericError> {
+        let n = self.sym.n;
+        if a.rows() != n || a.cols() != n {
+            return Err(NumericError::ShapeMismatch {
+                left: (n, n),
+                right: (a.rows(), a.cols()),
+                op: "ldl refactor",
+            });
+        }
+        let sym = &self.sym;
+        let scale = a.values().iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1.0);
+        let tiny = f64::EPSILON * scale * (n as f64);
+        self.y[..n].fill(0.0);
+        self.flag.fill(NO_PARENT);
+        self.l_fill.fill(0);
+        for k in 0..n {
+            // --- pattern of row k of L, in topological (etree) order.
+            let mut top = n;
+            self.flag[k] = k;
+            let (cols, vals) = a.row(sym.perm[k]);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let i = sym.pinv[c];
+                if i > k {
+                    continue;
+                }
+                self.y[i] += v;
+                let mut len = 0;
+                let mut i = i;
+                while self.flag[i] != k {
+                    self.pattern[len] = i;
+                    len += 1;
+                    self.flag[i] = k;
+                    i = sym.parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    self.pattern[top] = self.pattern[len];
+                }
+            }
+            // --- sparse triangular solve for the values of row k.
+            let mut dk = self.y[k];
+            self.y[k] = 0.0;
+            for t in top..n {
+                let i = self.pattern[t];
+                let yi = self.y[i];
+                self.y[i] = 0.0;
+                let p2 = sym.l_colptr[i] + self.l_fill[i];
+                for p in sym.l_colptr[i]..p2 {
+                    self.y[self.l_idx[p]] -= self.l_val[p] * yi;
+                }
+                let d_i = self.d[i];
+                let l_ki = yi / d_i;
+                dk -= l_ki * yi;
+                self.l_idx[p2] = k;
+                self.l_val[p2] = l_ki;
+                self.l_fill[i] += 1;
+            }
+            if !dk.is_finite() || dk <= tiny {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            self.d[k] = dk;
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, NumericError> {
+        if b.len() != self.sym.n {
+            return Err(NumericError::ShapeMismatch {
+                left: (self.sym.n, self.sym.n),
+                right: (b.len(), 1),
+                op: "ldl solve",
+            });
+        }
+        let mut x = Vector::zeros(self.sym.n);
+        let mut work = vec![0.0; self.sym.n];
+        self.solve_into(b.as_slice(), x.as_mut_slice(), &mut work);
+        Ok(x)
+    }
+
+    /// Allocation-free solve: `x = A⁻¹ b` using caller-provided scratch
+    /// (`work`), all of length `dim()`. `b` and `x` may not alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice-length mismatches.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64], work: &mut [f64]) {
+        let n = self.sym.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
+        assert_eq!(work.len(), n, "workspace length mismatch");
+        let sym = &self.sym;
+        // work = P b
+        for k in 0..n {
+            work[k] = b[sym.perm[k]];
+        }
+        // L y = work (unit lower triangular, column-oriented).
+        for j in 0..n {
+            let yj = work[j];
+            if yj != 0.0 {
+                for p in sym.l_colptr[j]..sym.l_colptr[j + 1] {
+                    work[self.l_idx[p]] -= self.l_val[p] * yj;
+                }
+            }
+        }
+        // D z = y.
+        for (w, d) in work.iter_mut().zip(&self.d) {
+            *w /= d;
+        }
+        // Lᵀ w = z.
+        for j in (0..n).rev() {
+            let mut acc = work[j];
+            for p in sym.l_colptr[j]..sym.l_colptr[j + 1] {
+                acc -= self.l_val[p] * work[self.l_idx[p]];
+            }
+            work[j] = acc;
+        }
+        // x = Pᵀ w.
+        for k in 0..n {
+            x[sym.perm[k]] = work[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TripletBuilder;
+    use super::*;
+    use crate::{LuFactor, Matrix};
+
+    /// SPD test fixture: a graph-Laplacian-plus-diagonal (exactly the
+    /// MNA iteration matrix shape) over the given edges.
+    fn laplacian(n: usize, edges: &[(usize, usize, f64)], diag: f64) -> SparseMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, diag);
+        }
+        for &(u, v, g) in edges {
+            b.add(u, u, g);
+            b.add(v, v, g);
+            b.add(u, v, -g);
+            b.add(v, u, -g);
+        }
+        b.build()
+    }
+
+    fn assert_solves(a: &SparseMatrix, tol: f64) {
+        let f = LdlFactor::new(a).expect("factor");
+        let lu = LuFactor::new(&a.to_dense()).expect("dense oracle");
+        let n = a.rows();
+        let b: Vector = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        let x = f.solve(&b).unwrap();
+        let x_ref = lu.solve(&b).unwrap();
+        for i in 0..n {
+            assert!(
+                (x[i] - x_ref[i]).abs() < tol,
+                "component {i}: {} vs {}",
+                x[i],
+                x_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn factors_small_spd() {
+        let mut b = TripletBuilder::new(3, 3);
+        for (r, c, v) in [
+            (0, 0, 4.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 5.0),
+            (1, 2, 2.0),
+            (2, 1, 2.0),
+            (2, 2, 6.0),
+        ] {
+            b.add(r, c, v);
+        }
+        assert_solves(&b.build(), 1e-12);
+    }
+
+    #[test]
+    fn tree_laplacian_has_zero_fill() {
+        // Path graph: fill-free under min-degree, so nnz(L) = n - 1.
+        let n = 30;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0 + i as f64 * 0.1)).collect();
+        let a = laplacian(n, &edges, 0.5);
+        let f = LdlFactor::new(&a).unwrap();
+        assert_eq!(f.symbolic().nnz_l(), n - 1, "tree must factor fill-free");
+        assert_solves(&a, 1e-10);
+    }
+
+    #[test]
+    fn near_tree_has_near_zero_fill() {
+        // Path + 2 chords: fill stays O(chords · n) far below dense.
+        let n = 40;
+        let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 2.0)).collect();
+        edges.push((0, n / 2, 0.7));
+        edges.push((5, n - 3, 0.3));
+        let a = laplacian(n, &edges, 0.25);
+        let f = LdlFactor::new(&a).unwrap();
+        assert!(
+            f.symbolic().nnz_l() < 3 * n,
+            "fill exploded: nnz(L) = {}",
+            f.symbolic().nnz_l()
+        );
+        assert_solves(&a, 1e-10);
+    }
+
+    #[test]
+    fn identity_permutation_matches_auto_order() {
+        let a = laplacian(12, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5)], 1.0);
+        let sym = LdlSymbolic::analyze_with(&a, (0..12).collect()).unwrap();
+        let f = sym.factor(&a).unwrap();
+        let auto = LdlFactor::new(&a).unwrap();
+        let b: Vector = (0..12).map(|i| i as f64 - 4.0).collect();
+        let x1 = f.solve(&b).unwrap();
+        let x2 = auto.solve(&b).unwrap();
+        for i in 0..12 {
+            assert!((x1[i] - x2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_for_new_values() {
+        let edges = [(0usize, 1usize, 1.0), (1, 2, 3.0), (0, 3, 2.0), (2, 3, 0.5)];
+        let a1 = laplacian(4, &edges, 1.0);
+        let sym = LdlSymbolic::analyze(&a1).unwrap();
+        let mut f = sym.factor(&a1).unwrap();
+        // Same pattern, different diagonal (a new step size h).
+        let a2 = laplacian(4, &edges, 7.5);
+        f.refactor(&a2).unwrap();
+        let lu = LuFactor::new(&a2.to_dense()).unwrap();
+        let b = Vector::from(vec![1.0, -1.0, 2.0, 0.5]);
+        let x = f.solve(&b).unwrap();
+        let x_ref = lu.solve(&b).unwrap();
+        for i in 0..4 {
+            assert!((x[i] - x_ref[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        // Indefinite: diagonal can't dominate the negative eigenvalue.
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 3.0);
+        b.add(1, 0, 3.0);
+        b.add(1, 1, 1.0);
+        assert!(matches!(
+            LdlFactor::new(&b.build()),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_singular() {
+        // Pure Laplacian with no grounding diagonal: rank n-1.
+        let a = laplacian(3, &[(0, 1, 1.0), (1, 2, 1.0)], 0.0);
+        assert!(matches!(
+            LdlFactor::new(&a),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = SparseMatrix::zeros(2, 3);
+        assert!(LdlSymbolic::analyze(&a).is_err());
+        let a = laplacian(2, &[(0, 1, 1.0)], 1.0);
+        let f = LdlFactor::new(&a).unwrap();
+        assert!(f.solve(&Vector::zeros(3)).is_err());
+        assert!(LdlSymbolic::analyze_with(&a, vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn dense_pattern_still_correct() {
+        // Fully dense SPD matrix exercises maximal fill.
+        let n = 8;
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                dense[(i, j)] = if i == j {
+                    n as f64 + 2.0
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+            }
+        }
+        let a = SparseMatrix::from_dense(&dense, 0.0);
+        assert_solves(&a, 1e-10);
+    }
+
+    #[test]
+    fn solve_into_is_consistent() {
+        let a = laplacian(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)], 0.8);
+        let f = LdlFactor::new(&a).unwrap();
+        let b = Vector::from(vec![0.5, -1.0, 2.0, 0.0, 1.0]);
+        let x = f.solve(&b).unwrap();
+        let mut x2 = vec![0.0; 5];
+        let mut work = vec![0.0; 5];
+        f.solve_into(b.as_slice(), &mut x2, &mut work);
+        assert_eq!(x.as_slice(), &x2[..]);
+    }
+}

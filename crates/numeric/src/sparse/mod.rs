@@ -1,0 +1,45 @@
+//! Sparse linear algebra for near-tree MNA systems.
+//!
+//! RC parasitic networks are trees plus a handful of loop chords and
+//! coupling caps, so their MNA matrices have O(n) nonzeros. This module
+//! provides what the transient simulator's hot path needs to exploit
+//! that:
+//!
+//! * [`csr`] — a compressed-sparse-row [`SparseMatrix`] built from
+//!   triplets (sorted, deduplicated), with allocation-free matvec;
+//! * [`order`] — a deterministic greedy minimum-degree elimination
+//!   ordering ([`min_degree_order`]) that yields near-zero fill on
+//!   near-tree graphs;
+//! * [`ldl`] — an up-looking sparse LDLᵀ factorization for symmetric
+//!   positive-definite matrices, split into a reusable symbolic phase
+//!   ([`LdlSymbolic`]: elimination tree + column counts) and a numeric
+//!   phase ([`LdlFactor`]) so re-factorizations at a new timestep reuse
+//!   the pattern analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use numeric::sparse::{LdlFactor, TripletBuilder};
+//! use numeric::Vector;
+//!
+//! # fn main() -> Result<(), numeric::NumericError> {
+//! let mut b = TripletBuilder::new(2, 2);
+//! b.add(0, 0, 4.0);
+//! b.add(0, 1, 1.0);
+//! b.add(1, 0, 1.0);
+//! b.add(1, 1, 3.0);
+//! let a = b.build();
+//! let f = LdlFactor::new(&a)?;
+//! let x = f.solve(&Vector::from(vec![1.0, 2.0]))?;
+//! assert!((a.mul_vec(&x)[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod csr;
+pub mod ldl;
+pub mod order;
+
+pub use csr::{SparseMatrix, TripletBuilder};
+pub use ldl::{LdlFactor, LdlSymbolic};
+pub use order::min_degree_order;

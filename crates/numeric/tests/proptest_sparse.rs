@@ -1,0 +1,117 @@
+//! Property tests: the sparse LDLᵀ path must agree with the dense LU
+//! oracle on random SPD matrices of the shape MNA assembly produces
+//! (graph Laplacian + positive diagonal), across random topologies,
+//! orderings and right-hand sides.
+
+use numeric::sparse::{LdlFactor, LdlSymbolic, TripletBuilder};
+use numeric::{LuFactor, SparseMatrix, Vector};
+use proptest::prelude::*;
+
+/// Deterministic value stream for a test case.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() % (1 << 24)) as f64 / (1 << 24) as f64;
+        lo + u * (hi - lo)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A random connected "tree + chords" SPD matrix: a spanning tree over
+/// `n` nodes with `chords` extra edges, conductance-style stamps, and a
+/// positive diagonal (the cap/h term), exactly the iteration-matrix
+/// shape the transient simulator factorizes.
+fn random_mna_like(seed: u64, n: usize, chords: usize) -> SparseMatrix {
+    let mut rng = Lcg(seed ^ 0x9e3779b97f4a7c15);
+    let mut b = TripletBuilder::new(n, n);
+    for i in 0..n {
+        b.add(i, i, rng.uniform(0.05, 4.0));
+    }
+    let stamp = |b: &mut TripletBuilder, u: usize, v: usize, g: f64| {
+        b.add(u, u, g);
+        b.add(v, v, g);
+        b.add(u, v, -g);
+        b.add(v, u, -g);
+    };
+    // Random spanning tree: attach node i to a random earlier node.
+    for i in 1..n {
+        let p = rng.index(i);
+        let g = rng.uniform(0.01, 2.0);
+        stamp(&mut b, p, i, g);
+    }
+    for _ in 0..chords {
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u != v {
+            let g = rng.uniform(0.01, 1.0);
+            stamp(&mut b, u, v, g);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn sparse_ldl_matches_dense_lu(seed in 0u64..1_000_000, n in 2usize..48, chords in 0usize..6) {
+        let a = random_mna_like(seed, n, chords);
+        prop_assert!(a.is_symmetric(1e-12));
+        let f = LdlFactor::new(&a).expect("SPD matrix must factor");
+        let lu = LuFactor::new(&a.to_dense()).expect("dense oracle");
+        let mut rng = Lcg(seed.wrapping_add(17));
+        let rhs: Vector = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let x = f.solve(&rhs).unwrap();
+        let x_ref = lu.solve(&rhs).unwrap();
+        let scale = x_ref.max_abs().max(1.0);
+        for i in 0..n {
+            prop_assert!(
+                (x[i] - x_ref[i]).abs() <= 1e-9 * scale,
+                "component {} differs: sparse {} vs dense {}", i, x[i], x_ref[i]
+            );
+        }
+    }
+
+    fn refactor_matches_fresh_factor(seed in 0u64..1_000_000, n in 2usize..32) {
+        // Same pattern, new values (a step-size change): refactor through
+        // the cached symbolic must equal a from-scratch factorization.
+        let a1 = random_mna_like(seed, n, 2);
+        let mut a2 = a1.clone();
+        let mut rng = Lcg(seed ^ 0xabcdef);
+        // Scale the diagonal up (adding cap/h keeps SPD).
+        for i in 0..n {
+            let p = a2.index_of(i, i).expect("diagonal is stamped");
+            a2.values_mut()[p] += rng.uniform(0.1, 5.0);
+        }
+        let sym = LdlSymbolic::analyze(&a1).unwrap();
+        let mut f = sym.factor(&a1).unwrap();
+        f.refactor(&a2).unwrap();
+        let fresh = sym.factor(&a2).unwrap();
+        let rhs: Vector = (0..n).map(|i| ((i * 7 + 3) as f64).sin()).collect();
+        let x1 = f.solve(&rhs).unwrap();
+        let x2 = fresh.solve(&rhs).unwrap();
+        for i in 0..n {
+            prop_assert!((x1[i] - x2[i]).abs() == 0.0, "refactor diverged at {}", i);
+        }
+    }
+
+    fn mul_vec_matches_dense(seed in 0u64..1_000_000, n in 1usize..40) {
+        let a = random_mna_like(seed, n, 3);
+        let mut rng = Lcg(seed.wrapping_add(99));
+        let v: Vector = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let sparse = a.mul_vec(&v);
+        let dense = a.to_dense().mul_vec(&v);
+        for i in 0..n {
+            prop_assert!((sparse[i] - dense[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -115,6 +115,7 @@ impl RunReport {
         out.push(']');
 
         self.push_par_section(&mut out);
+        self.push_solver_section(&mut out);
         out.push('}');
         out
     }
@@ -167,6 +168,69 @@ impl RunReport {
             out.push('}');
         }
         out.push_str("]}");
+    }
+
+    /// Emits a derived `"solver"` section summarizing the golden
+    /// simulator's linear-solver metrics: nets factorized per backend
+    /// (the `rcsim.solver.nets` labelled counter), aggregate sparse
+    /// pattern size and fill-in (`rcsim.sparse.nnz` / `rcsim.sparse.fill`)
+    /// and the factor/solve time split (`rcsim.factor_seconds` /
+    /// `rcsim.solve_seconds` histograms). Empty-but-present when no
+    /// simulation ran.
+    fn push_solver_section(&self, out: &mut String) {
+        let counter = |name: &str| {
+            self.metrics
+                .counters
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        out.push_str(",\"solver\":{\"backends\":[");
+        let mut first = true;
+        for (key, count) in &self.metrics.counters {
+            if key.name != "rcsim.solver.nets" {
+                continue;
+            }
+            let Some(kind) = key.label.as_deref() else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"kind\":");
+            json::push_string(out, kind);
+            out.push_str(",\"nets\":");
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{count}"));
+            out.push('}');
+        }
+        out.push_str("],\"sparse_nnz\":");
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{}", counter("rcsim.sparse.nnz")));
+        out.push_str(",\"sparse_fill\":");
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{}", counter("rcsim.sparse.fill")));
+        for (field, name) in [
+            ("factor", "rcsim.factor_seconds"),
+            ("solve", "rcsim.solve_seconds"),
+        ] {
+            let hist = self
+                .metrics
+                .histograms
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, h)| h);
+            let _ = std::fmt::Write::write_fmt(out, format_args!(",\"{field}\":{{\"count\":"));
+            let _ = std::fmt::Write::write_fmt(
+                out,
+                format_args!("{}", hist.map(|h| h.count()).unwrap_or(0)),
+            );
+            out.push_str(",\"total_s\":");
+            json::push_f64(out, hist.map(|h| h.sum()).unwrap_or(0.0));
+            out.push_str(",\"p95_s\":");
+            json::push_f64(out, hist.map(|h| h.quantile(0.95)).unwrap_or(0.0));
+            out.push('}');
+        }
+        out.push('}');
     }
 
     /// Writes the JSON report to `path` (plus a trailing newline).
@@ -258,6 +322,23 @@ mod tests {
         assert!(json.contains("\"par\":{\"threads\":4"));
         assert!(json.contains("\"kind\":\"test.kind\",\"tasks\":12"));
         assert!(json.contains("\"total_s\":"));
+    }
+
+    #[test]
+    fn report_has_derived_solver_section() {
+        crate::metrics::counter_labeled("rcsim.solver.nets", Some("sparse_ldl")).add(3);
+        crate::metrics::counter("rcsim.sparse.nnz").add(42);
+        crate::metrics::counter("rcsim.sparse.fill").add(2);
+        let h = crate::metrics::histogram("rcsim.factor_seconds");
+        h.observe(0.002);
+        let json = RunReport::capture().to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"solver\":{\"backends\":["));
+        assert!(json.contains("\"kind\":\"sparse_ldl\",\"nets\":3"));
+        assert!(json.contains("\"sparse_nnz\":42"));
+        assert!(json.contains("\"sparse_fill\":2"));
+        assert!(json.contains("\"factor\":{\"count\":1"));
+        assert!(json.contains("\"solve\":{\"count\":0"));
     }
 
     #[test]

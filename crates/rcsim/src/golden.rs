@@ -2,7 +2,7 @@
 
 use crate::mna::MnaSystem;
 use crate::si::Aggressor;
-use crate::transient::{simulate, RampInput};
+use crate::transient::{CaptureSet, RampInput, SimOptions, SolverKind, TransientSim};
 use crate::SimError;
 use rcnet::{NodeId, Ohms, RcNet, Seconds};
 
@@ -44,6 +44,11 @@ pub struct PathTiming {
 
 /// Golden wire timer: simulates the net and measures every wire path.
 ///
+/// Only the driver pin and the sinks are captured during integration,
+/// and a net that has not settled by the end of the initial horizon is
+/// *continued* from its last state with the existing factorization (warm
+/// restart) rather than re-simulated from `t = 0`.
+///
 /// # Examples
 ///
 /// ```
@@ -68,6 +73,8 @@ pub struct GoldenTimer {
     r_drive: Ohms,
     steps: usize,
     max_extensions: u32,
+    solver: SolverKind,
+    horizon_tau: f64,
 }
 
 impl Default for GoldenTimer {
@@ -85,6 +92,8 @@ impl GoldenTimer {
             r_drive,
             steps: 4000,
             max_extensions: 5,
+            solver: SolverKind::default(),
+            horizon_tau: 15.0,
         }
     }
 
@@ -100,6 +109,21 @@ impl GoldenTimer {
         self
     }
 
+    /// Selects the linear solver backend (sparse LDLᵀ by default; the
+    /// dense LU oracle is for tests and benchmarks).
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the initial horizon in units of the net's estimated
+    /// dominant time constant (default 15.0). Smaller values make the
+    /// warm-restart horizon extension kick in; mainly for tests.
+    pub fn with_horizon_tau(mut self, taus: f64) -> Self {
+        self.horizon_tau = taus;
+        self
+    }
+
     /// The supply swing.
     pub fn vdd(&self) -> f64 {
         self.vdd
@@ -108,6 +132,11 @@ impl GoldenTimer {
     /// The Thevenin drive resistance.
     pub fn r_drive(&self) -> Ohms {
         self.r_drive
+    }
+
+    /// The selected solver backend.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
     }
 
     /// Simulates `net` with a rising input of the given 10–90 % slew and
@@ -180,46 +209,67 @@ impl GoldenTimer {
         };
 
         let tau = sys.tau_estimate(net);
-        let mut horizon = ramp + 15.0 * tau;
-        for _ in 0..=self.max_extensions {
-            let res = simulate(&sys, net, &input, aggressor.as_ref(), horizon, self.steps)?;
+        let horizon = ramp + self.horizon_tau * tau;
+        let h = horizon / self.steps as f64;
+        // Only the nodes the measurement below reads.
+        let mut capture = vec![net.source()];
+        capture.extend(net.sinks().iter().copied());
+        let opts = SimOptions {
+            solver: self.solver,
+            capture: CaptureSet::Nodes(capture),
+        };
+        let mut sim = TransientSim::new(&sys, net, &input, aggressor.as_ref(), h, &opts)?;
+        sim.run(self.steps)?;
+        // Each extension doubles the covered horizon by integrating the
+        // same number of steps again from the current state — the
+        // factorization and RHS history carry over (warm restart).
+        let mut extension_steps = self.steps;
+        let mut extensions = 0;
+        loop {
+            let res = sim.snapshot();
             let settled = net
                 .sinks()
                 .iter()
-                .all(|&s| settled_value(res.waveforms[s.index()].final_value().value()));
-            if !settled {
-                obs::counter("rcsim.golden.horizon_extensions").inc();
-                horizon *= 2.0;
-                continue;
-            }
-            let src_t50 = t50_of(&res.waveforms[net.source().index()]).ok_or_else(|| {
-                SimError::NotSettled {
-                    net: net.name().to_string(),
-                }
-            })?;
-            let mut out = Vec::with_capacity(net.paths().len());
-            let mut ok = true;
-            for path in net.paths() {
-                let wf = &res.waveforms[path.sink.index()];
-                match (t50_of(wf), slew_of(wf)) {
-                    (Some(t50), Some(slew)) => out.push(PathTiming {
-                        sink: path.sink,
-                        delay: Seconds((t50.value() - src_t50.value()).max(0.0)),
-                        slew,
-                    }),
-                    _ => {
-                        ok = false;
-                        break;
+                .all(|&s| {
+                    settled_value(res.waveform(s).expect("sink captured").final_value().value())
+                });
+            if settled {
+                let src_t50 = res
+                    .waveform(net.source())
+                    .and_then(t50_of)
+                    .ok_or_else(|| SimError::NotSettled {
+                        net: net.name().to_string(),
+                    })?;
+                let mut out = Vec::with_capacity(net.paths().len());
+                let mut ok = true;
+                for path in net.paths() {
+                    let wf = res.waveform(path.sink).expect("sink captured");
+                    match (t50_of(wf), slew_of(wf)) {
+                        (Some(t50), Some(slew)) => out.push(PathTiming {
+                            sink: path.sink,
+                            delay: Seconds((t50.value() - src_t50.value()).max(0.0)),
+                            slew,
+                        }),
+                        _ => {
+                            ok = false;
+                            break;
+                        }
                     }
                 }
+                if ok {
+                    obs::counter("rcsim.golden.nets").inc();
+                    obs::histogram("rcsim.golden.net_seconds")
+                        .observe(wall.elapsed().as_secs_f64());
+                    return Ok(out);
+                }
             }
-            if ok {
-                obs::counter("rcsim.golden.nets").inc();
-                obs::histogram("rcsim.golden.net_seconds").observe(wall.elapsed().as_secs_f64());
-                return Ok(out);
+            if extensions >= self.max_extensions {
+                break;
             }
+            extensions += 1;
             obs::counter("rcsim.golden.horizon_extensions").inc();
-            horizon *= 2.0;
+            sim.run(extension_steps)?;
+            extension_steps *= 2;
         }
         obs::event!(
             obs::Level::Warn,
@@ -362,6 +412,47 @@ mod tests {
             noisy[0].delay > quiet[0].delay,
             "a rising aggressor must slow the falling victim"
         );
+    }
+
+    #[test]
+    fn dense_oracle_solver_is_selectable() {
+        let net = two_sink_net();
+        let sparse = GoldenTimer::default()
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .unwrap();
+        let dense = GoldenTimer::default()
+            .with_solver(SolverKind::DenseLu)
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .unwrap();
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s.delay.value() - d.delay.value()).abs() < 1e-12);
+            assert!((s.slew.value() - d.slew.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn short_horizon_extends_and_still_measures() {
+        // Force the initial horizon well short of settling so the
+        // warm-restart extension path runs; the answer must match a
+        // generous-horizon run (samples on the shared prefix are
+        // identical and measurement happens after settling either way).
+        let net = two_sink_net();
+        let reference = GoldenTimer::default()
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .unwrap();
+        let extended = GoldenTimer::default()
+            .with_horizon_tau(0.5)
+            .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+            .unwrap();
+        for (r, e) in reference.iter().zip(&extended) {
+            // Different step sizes → small numerical differences only.
+            assert!(
+                (r.delay.value() - e.delay.value()).abs() < 0.02 * r.delay.value().max(1e-15),
+                "extended {:?} vs reference {:?}",
+                e.delay,
+                r.delay
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! network computes. This crate therefore *is* the reproduction's golden
 //! timer:
 //!
-//! * [`mna`] — assembles the nodal `C dv/dt + G v = b(t)` system with the
-//!   driver modelled as an ideal ramp behind a Thevenin drive resistance;
+//! * [`mna`] — assembles the nodal `C dv/dt + G v = b(t)` system (CSR
+//!   conductance, diagonal capacitance) with the driver modelled as an
+//!   ideal ramp behind a Thevenin drive resistance;
 //! * [`transient`] — A-stable trapezoidal integration, factorizing the
-//!   constant iteration matrix once per net;
+//!   constant iteration matrix once per net with a sparse LDLᵀ (dense LU
+//!   stays selectable as the test oracle) and supporting warm-restarted
+//!   horizon extension;
 //! * [`waveform`] — threshold-crossing measurement (50 % delay, 10–90 %
 //!   slew) robust to the non-monotonicity crosstalk causes;
 //! * [`si`] — aggressor switching injected through coupling capacitors;
@@ -45,6 +48,7 @@ pub mod transient;
 pub mod waveform;
 
 pub use golden::{Edge, GoldenTimer, PathTiming, SiMode};
+pub use transient::{CaptureSet, SimOptions, SolverKind, TransientSim};
 pub use waveform::Waveform;
 
 use std::error::Error;

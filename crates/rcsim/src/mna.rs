@@ -6,9 +6,16 @@
 //! `Vin(t)/R_drv` source term. Coupling capacitors add to the victim
 //! diagonal of `C` and inject `Cc * dV_agg/dt` on the right-hand side
 //! (handled by [`crate::si`]).
+//!
+//! RC nets are trees plus a handful of loop chords, so the conductance
+//! matrix has O(n) nonzeros; it is assembled directly in CSR form with
+//! an explicit diagonal entry for every node, which guarantees the
+//! trapezoidal iteration matrix `A = C/h + G/2` shares the pattern (its
+//! cap term only touches the diagonal). The dense form remains available
+//! through [`MnaSystem::dense_conductance`] for the LU oracle path.
 
 use crate::SimError;
-use numeric::Matrix;
+use numeric::{Matrix, SparseMatrix, TripletBuilder};
 use rcnet::{Ohms, RcNet};
 
 /// The assembled `C dv/dt + G v = b(t)` system of a net.
@@ -16,8 +23,9 @@ use rcnet::{Ohms, RcNet};
 pub struct MnaSystem {
     /// Diagonal of the capacitance matrix (ground + coupling), per node.
     pub cap_diag: Vec<f64>,
-    /// Dense conductance matrix including the drive conductance.
-    pub conductance: Matrix,
+    /// Sparse (CSR) conductance matrix including the drive conductance,
+    /// with an explicit diagonal entry for every node.
+    pub conductance: SparseMatrix,
     /// Index of the driver pin node.
     pub source_index: usize,
     /// Drive conductance `1/R_drv` (multiplies `Vin(t)` in the RHS).
@@ -38,18 +46,23 @@ impl MnaSystem {
             )));
         }
         let n = net.node_count();
-        let mut conductance = Matrix::zeros(n, n);
+        let mut g = TripletBuilder::new(n, n);
+        // Explicit diagonal for every node so the iteration-matrix
+        // pattern (diagonal cap term) never needs new entries.
+        for i in 0..n {
+            g.add(i, i, 0.0);
+        }
         for (_, e) in net.iter_edges() {
-            let g = 1.0 / e.res.value();
+            let gij = 1.0 / e.res.value();
             let (a, b) = (e.a.index(), e.b.index());
-            conductance[(a, a)] += g;
-            conductance[(b, b)] += g;
-            conductance[(a, b)] -= g;
-            conductance[(b, a)] -= g;
+            g.add(a, a, gij);
+            g.add(b, b, gij);
+            g.add(a, b, -gij);
+            g.add(b, a, -gij);
         }
         let source_index = net.source().index();
         let g_drv = 1.0 / r_drive.value();
-        conductance[(source_index, source_index)] += g_drv;
+        g.add(source_index, source_index, g_drv);
 
         let mut cap_diag = vec![0.0; n];
         for (id, node) in net.iter_nodes() {
@@ -60,7 +73,7 @@ impl MnaSystem {
         }
         Ok(MnaSystem {
             cap_diag,
-            conductance,
+            conductance: g.build(),
             source_index,
             drive_conductance: g_drv,
         })
@@ -69,6 +82,17 @@ impl MnaSystem {
     /// Number of unknown node voltages.
     pub fn dim(&self) -> usize {
         self.cap_diag.len()
+    }
+
+    /// Nonzero count of the conductance matrix (including the explicit
+    /// diagonal).
+    pub fn nnz(&self) -> usize {
+        self.conductance.nnz()
+    }
+
+    /// The conductance matrix expanded to dense form (LU oracle path).
+    pub fn dense_conductance(&self) -> Matrix {
+        self.conductance.to_dense()
     }
 
     /// A conservative dominant time constant estimate used to size the
@@ -102,12 +126,30 @@ mod tests {
         let s = net.source().index();
         let k = 1 - s;
         // G[s][s] = 1/100 + 1/50, G[k][k] = 1/100, off-diagonals -1/100.
-        assert!((sys.conductance[(s, s)] - 0.03).abs() < 1e-12);
-        assert!((sys.conductance[(k, k)] - 0.01).abs() < 1e-12);
-        assert!((sys.conductance[(s, k)] + 0.01).abs() < 1e-12);
+        assert!((sys.conductance.get(s, s) - 0.03).abs() < 1e-12);
+        assert!((sys.conductance.get(k, k) - 0.01).abs() < 1e-12);
+        assert!((sys.conductance.get(s, k) + 0.01).abs() < 1e-12);
         // Coupling cap lumped onto the sink diagonal.
         assert!((sys.cap_diag[k] - 2.5e-15).abs() < 1e-27);
         assert!((sys.cap_diag[s] - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn sparse_assembly_is_symmetric_with_full_diagonal() {
+        let net = net();
+        let sys = MnaSystem::new(&net, Ohms(50.0)).unwrap();
+        assert!(sys.conductance.is_symmetric(1e-15));
+        for i in 0..sys.dim() {
+            assert!(
+                sys.conductance.index_of(i, i).is_some(),
+                "diagonal entry {i} must be explicit"
+            );
+        }
+        // 2 nodes + 2 off-diagonals.
+        assert_eq!(sys.nnz(), 4);
+        // Dense expansion matches the CSR entries.
+        let d = sys.dense_conductance();
+        assert!((d[(0, 0)] - sys.conductance.get(0, 0)).abs() < 1e-15);
     }
 
     #[test]

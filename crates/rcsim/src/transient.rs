@@ -1,18 +1,31 @@
 //! Trapezoidal transient integration of the MNA system.
 //!
-//! The iteration matrix `A = C/h + G/2` is constant under a fixed step, so
-//! it is LU-factorized once per run and reused for every timestep:
+//! The iteration matrix `A = C/h + G/2` is constant under a fixed step,
+//! so it is factorized once per run and reused for every timestep:
 //!
 //! ```text
 //! (C/h + G/2) v_{n+1} = (C/h - G/2) v_n + (b_n + b_{n+1}) / 2
 //! ```
+//!
+//! `A` is symmetric positive definite (a weighted graph Laplacian plus
+//! the drive conductance and the positive cap/h diagonal), so the
+//! default backend is the sparse LDLᵀ of [`numeric::sparse`] — near
+//! linear in the nonzero count on near-tree RC networks. The dense
+//! partial-pivoting LU remains selectable via [`SolverKind::DenseLu`] as
+//! the test oracle.
+//!
+//! [`TransientSim`] is the stateful integrator: it owns the
+//! factorization, the state vector and all step buffers, and can keep
+//! integrating from where it stopped ([`TransientSim::run`]), which is
+//! how the golden timer extends a too-short horizon without re-simulating
+//! from `t = 0`.
 
 use crate::mna::MnaSystem;
 use crate::si::Aggressor;
 use crate::waveform::Waveform;
 use crate::SimError;
-use numeric::{LuFactor, Vector};
-use rcnet::{RcNet, Seconds};
+use numeric::{LdlFactor, LuFactor};
+use rcnet::{NodeId, RcNet, Seconds};
 
 /// The ideal input ramp presented to the driver's Thevenin source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,16 +74,306 @@ impl RampInput {
     }
 }
 
-/// Result of one transient run: per-node sampled waveforms.
+/// Which linear solver factorizes the iteration matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Sparse LDLᵀ with a fill-reducing ordering (the production path).
+    #[default]
+    SparseLdl,
+    /// Dense LU with partial pivoting (the seed implementation, kept as
+    /// the test oracle).
+    DenseLu,
+}
+
+impl SolverKind {
+    /// Stable lowercase name for reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::SparseLdl => "sparse_ldl",
+            SolverKind::DenseLu => "dense_lu",
+        }
+    }
+}
+
+/// Which node waveforms the integrator records.
+///
+/// Full capture is O(nodes · steps) memory but only the driver pin and
+/// the sinks are ever measured, so the golden timer captures just those.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CaptureSet {
+    /// Record every node (tests / debugging; the [`simulate`] default).
+    #[default]
+    All,
+    /// Record only the listed nodes, in the given order.
+    Nodes(Vec<NodeId>),
+}
+
+/// Integration options: solver backend and waveform capture.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimOptions {
+    /// Linear solver backend.
+    pub solver: SolverKind,
+    /// Which waveforms to record.
+    pub capture: CaptureSet,
+}
+
+/// Result of one transient run: sampled waveforms for the captured
+/// nodes.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
-    /// One waveform per net node, indexed by `NodeId::index()`.
+    /// One waveform per captured node, in [`TransientResult::nodes`]
+    /// order. Under [`CaptureSet::All`] row `i` is node index `i`.
     pub waveforms: Vec<Waveform>,
+    /// Node index of each waveform row.
+    pub nodes: Vec<usize>,
     /// The step size used.
     pub dt: Seconds,
 }
 
-/// Integrates the system over `[0, horizon]` with `steps` fixed steps.
+impl TransientResult {
+    /// The waveform captured for `node`, if it was in the capture set.
+    pub fn waveform(&self, node: NodeId) -> Option<&Waveform> {
+        self.nodes
+            .iter()
+            .position(|&i| i == node.index())
+            .map(|row| &self.waveforms[row])
+    }
+}
+
+enum Factor {
+    Dense(LuFactor),
+    Sparse(LdlFactor),
+}
+
+/// A stateful trapezoidal integrator over one MNA system.
+///
+/// Construction factorizes the iteration matrix for the given step size;
+/// [`TransientSim::run`] then advances any number of steps, reusing the
+/// factorization and all step buffers (the hot loop performs no
+/// allocations beyond the captured samples). Repeated `run` calls
+/// continue from the last state — the warm restart the golden timer uses
+/// for horizon extension.
+pub struct TransientSim<'a> {
+    sys: &'a MnaSystem,
+    net: &'a RcNet,
+    input: RampInput,
+    aggressor: Option<Aggressor>,
+    h: f64,
+    factor: Factor,
+    /// Captured node indices; `samples` rows are parallel to this.
+    capture: Vec<usize>,
+    samples: Vec<Vec<f64>>,
+    /// Current state vector (node voltages).
+    v: Vec<f64>,
+    steps_taken: usize,
+    // Step buffers, hoisted out of the loop.
+    b_prev: Vec<f64>,
+    b_next: Vec<f64>,
+    gv: Vec<f64>,
+    rhs: Vec<f64>,
+    work: Vec<f64>,
+}
+
+/// Right-hand side `b(t)`: drive current + aggressor injections.
+fn rhs_into(
+    sys: &MnaSystem,
+    net: &RcNet,
+    input: &RampInput,
+    aggressor: Option<&Aggressor>,
+    t: f64,
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    out[sys.source_index] += sys.drive_conductance * input.at(t);
+    if let Some(agg) = aggressor {
+        let slope = agg.dv_dt(t);
+        if slope != 0.0 {
+            for c in net.couplings() {
+                out[c.node.index()] += c.cap.value() * slope;
+            }
+        }
+    }
+}
+
+impl<'a> TransientSim<'a> {
+    /// Sets up the integrator with step size `h`: factorizes
+    /// `A = C/h + G/2` with the selected backend and records the `t = 0`
+    /// sample for the captured nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadParameter`] for a non-positive or
+    /// non-finite `h` and [`SimError::Numeric`] when the iteration
+    /// matrix is singular (cannot happen on a validated net with a
+    /// positive drive resistance).
+    pub fn new(
+        sys: &'a MnaSystem,
+        net: &'a RcNet,
+        input: &RampInput,
+        aggressor: Option<&Aggressor>,
+        h: f64,
+        opts: &SimOptions,
+    ) -> Result<Self, SimError> {
+        if !(h > 0.0 && h.is_finite()) {
+            return Err(SimError::BadParameter(format!(
+                "step size must be positive and finite, got {h}"
+            )));
+        }
+        let n = sys.dim();
+        let factor = {
+            let _s = obs::span("factor");
+            let wall = std::time::Instant::now();
+            let factor = match opts.solver {
+                SolverKind::DenseLu => {
+                    let mut a = sys.dense_conductance().scale(0.5);
+                    for i in 0..n {
+                        a[(i, i)] += sys.cap_diag[i] / h;
+                    }
+                    Factor::Dense(LuFactor::new(&a)?)
+                }
+                SolverKind::SparseLdl => {
+                    let mut a = sys.conductance.clone();
+                    for v in a.values_mut() {
+                        *v *= 0.5;
+                    }
+                    for i in 0..n {
+                        let p = a
+                            .index_of(i, i)
+                            .expect("MNA assembly stamps every diagonal entry");
+                        a.values_mut()[p] += sys.cap_diag[i] / h;
+                    }
+                    let f = LdlFactor::new(&a)?;
+                    obs::counter("rcsim.sparse.nnz").add(a.nnz() as u64);
+                    // Fill-in: L entries beyond the strictly-lower
+                    // entries already present in A.
+                    let lower_a = (a.nnz() - n) / 2;
+                    let fill = f.symbolic().nnz_l().saturating_sub(lower_a);
+                    obs::counter("rcsim.sparse.fill").add(fill as u64);
+                    Factor::Sparse(f)
+                }
+            };
+            obs::counter_labeled("rcsim.solver.nets", Some(opts.solver.name())).inc();
+            obs::histogram("rcsim.factor_seconds").observe(wall.elapsed().as_secs_f64());
+            factor
+        };
+
+        let capture: Vec<usize> = match &opts.capture {
+            CaptureSet::All => (0..n).collect(),
+            CaptureSet::Nodes(nodes) => nodes.iter().map(|id| id.index()).collect(),
+        };
+        let v = vec![input.initial_voltage(); n];
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); capture.len()];
+        for (s, &node) in samples.iter_mut().zip(&capture) {
+            s.push(v[node]);
+        }
+        let mut b_prev = vec![0.0; n];
+        rhs_into(sys, net, input, aggressor, 0.0, &mut b_prev);
+        Ok(TransientSim {
+            sys,
+            net,
+            input: *input,
+            aggressor: aggressor.copied(),
+            h,
+            factor,
+            capture,
+            samples,
+            v,
+            steps_taken: 0,
+            b_prev,
+            b_next: vec![0.0; n],
+            gv: vec![0.0; n],
+            rhs: vec![0.0; n],
+            work: vec![0.0; n],
+        })
+    }
+
+    /// The fixed step size.
+    pub fn dt(&self) -> Seconds {
+        Seconds(self.h)
+    }
+
+    /// Steps integrated so far (current time is `dt * steps_taken`).
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Advances the simulation by `steps` steps from the current state,
+    /// reusing the factorization (warm restart).
+    ///
+    /// # Errors
+    ///
+    /// This path cannot fail once construction succeeded; the `Result`
+    /// is kept for forward compatibility with adaptive stepping.
+    pub fn run(&mut self, steps: usize) -> Result<(), SimError> {
+        let _s = obs::span("steps");
+        let wall = std::time::Instant::now();
+        let n = self.sys.dim();
+        for s in &mut self.samples {
+            s.reserve(steps);
+        }
+        for _ in 0..steps {
+            self.steps_taken += 1;
+            let t = self.h * self.steps_taken as f64;
+            rhs_into(
+                self.sys,
+                self.net,
+                &self.input,
+                self.aggressor.as_ref(),
+                t,
+                &mut self.b_next,
+            );
+            // rhs = (C/h) v - (G v)/2 + (b_prev + b_next)/2
+            self.sys.conductance.mul_vec_into(&self.v, &mut self.gv);
+            for i in 0..n {
+                self.rhs[i] = self.sys.cap_diag[i] / self.h * self.v[i] - 0.5 * self.gv[i]
+                    + 0.5 * (self.b_prev[i] + self.b_next[i]);
+            }
+            match &self.factor {
+                Factor::Dense(lu) => lu.solve_into(&self.rhs, &mut self.v),
+                Factor::Sparse(f) => f.solve_into(&self.rhs, &mut self.v, &mut self.work),
+            }
+            for (s, &node) in self.samples.iter_mut().zip(&self.capture) {
+                s.push(self.v[node]);
+            }
+            std::mem::swap(&mut self.b_prev, &mut self.b_next);
+        }
+        obs::counter("rcsim.transient.steps").add(steps as u64);
+        obs::histogram("rcsim.solve_seconds").observe(wall.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// The waveforms recorded so far (clones the sample storage; the
+    /// integrator can keep running afterwards).
+    pub fn snapshot(&self) -> TransientResult {
+        TransientResult {
+            waveforms: self
+                .samples
+                .iter()
+                .map(|vals| Waveform::new(Seconds(0.0), Seconds(self.h), vals.clone()))
+                .collect(),
+            nodes: self.capture.clone(),
+            dt: Seconds(self.h),
+        }
+    }
+
+    /// Consumes the integrator, yielding the recorded waveforms without
+    /// copying the samples.
+    pub fn into_result(self) -> TransientResult {
+        TransientResult {
+            waveforms: self
+                .samples
+                .into_iter()
+                .map(|vals| Waveform::new(Seconds(0.0), Seconds(self.h), vals))
+                .collect(),
+            nodes: self.capture,
+            dt: Seconds(self.h),
+        }
+    }
+}
+
+/// Integrates the system over `[0, horizon]` with `steps` fixed steps,
+/// capturing every node with the default (sparse) solver. See
+/// [`simulate_opts`] to choose the backend or restrict capture.
 ///
 /// `aggressors` couples every coupling capacitor of the net to the given
 /// aggressor waveform (pass `None` for base, noise-free analysis).
@@ -78,8 +381,9 @@ pub struct TransientResult {
 /// # Errors
 ///
 /// Returns [`SimError::Numeric`] when the iteration matrix is singular
-/// (cannot happen on a validated net with a positive drive resistance) and
-/// [`SimError::BadParameter`] for a non-positive horizon or zero steps.
+/// (cannot happen on a validated net with a positive drive resistance)
+/// and [`SimError::BadParameter`] for a non-positive horizon or zero
+/// steps.
 pub fn simulate(
     sys: &MnaSystem,
     net: &RcNet,
@@ -88,6 +392,23 @@ pub fn simulate(
     horizon: f64,
     steps: usize,
 ) -> Result<TransientResult, SimError> {
+    simulate_opts(sys, net, input, aggressor, horizon, steps, &SimOptions::default())
+}
+
+/// [`simulate`] with explicit [`SimOptions`].
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_opts(
+    sys: &MnaSystem,
+    net: &RcNet,
+    input: &RampInput,
+    aggressor: Option<&Aggressor>,
+    horizon: f64,
+    steps: usize,
+    opts: &SimOptions,
+) -> Result<TransientResult, SimError> {
     let horizon_ok = horizon > 0.0;
     if !horizon_ok || steps == 0 {
         return Err(SimError::BadParameter(format!(
@@ -95,68 +416,10 @@ pub fn simulate(
         )));
     }
     let _sim_span = obs::span("transient");
-    let n = sys.dim();
     let h = horizon / steps as f64;
-
-    // A = C/h + G/2 — factorized once.
-    let lu = {
-        let _s = obs::span("factor");
-        let mut a = sys.conductance.scale(0.5);
-        for i in 0..n {
-            a[(i, i)] += sys.cap_diag[i] / h;
-        }
-        LuFactor::new(&a)?
-    };
-
-    // Right-hand side b(t): drive current + aggressor injections.
-    let rhs_at = |t: f64| -> Vector {
-        let mut b = Vector::zeros(n);
-        b[sys.source_index] += sys.drive_conductance * input.at(t);
-        if let Some(agg) = aggressor {
-            let slope = agg.dv_dt(t);
-            if slope != 0.0 {
-                for c in net.couplings() {
-                    b[c.node.index()] += c.cap.value() * slope;
-                }
-            }
-        }
-        b
-    };
-
-    let mut v = Vector::from(vec![input.initial_voltage(); n]);
-    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
-    for (i, s) in samples.iter_mut().enumerate() {
-        s.push(v[i]);
-    }
-    {
-        // Back-substitution loop: one solve per timestep against the
-        // shared factorization.
-        let _s = obs::span("steps");
-        let mut b_prev = rhs_at(0.0);
-        for step in 1..=steps {
-            let t = h * step as f64;
-            let b_next = rhs_at(t);
-            // rhs = (C/h) v - (G v)/2 + (b_prev + b_next)/2
-            let gv = sys.conductance.mul_vec(&v);
-            let mut rhs = Vector::zeros(n);
-            for i in 0..n {
-                rhs[i] = sys.cap_diag[i] / h * v[i] - 0.5 * gv[i] + 0.5 * (b_prev[i] + b_next[i]);
-            }
-            v = lu.solve(&rhs)?;
-            for (i, s) in samples.iter_mut().enumerate() {
-                s.push(v[i]);
-            }
-            b_prev = b_next;
-        }
-        obs::counter("rcsim.transient.steps").add(steps as u64);
-    }
-
-    let dt = Seconds(h);
-    let waveforms = samples
-        .into_iter()
-        .map(|vals| Waveform::new(Seconds(0.0), dt, vals))
-        .collect();
-    Ok(TransientResult { waveforms, dt })
+    let mut sim = TransientSim::new(sys, net, input, aggressor, h, opts)?;
+    sim.run(steps)?;
+    Ok(sim.into_result())
 }
 
 #[cfg(test)]
@@ -206,6 +469,86 @@ mod tests {
     }
 
     #[test]
+    fn dense_oracle_agrees_with_sparse_default() {
+        let net = single_stage(250.0, 20e-15);
+        let sys = MnaSystem::new(&net, Ohms(80.0)).unwrap();
+        let input = RampInput::rising(1.0, 8e-12);
+        let tau = sys.tau_estimate(&net);
+        let horizon = input.ramp + 20.0 * tau;
+        let sparse = simulate(&sys, &net, &input, None, horizon, 1500).unwrap();
+        let dense = simulate_opts(
+            &sys,
+            &net,
+            &input,
+            None,
+            horizon,
+            1500,
+            &SimOptions {
+                solver: SolverKind::DenseLu,
+                capture: CaptureSet::All,
+            },
+        )
+        .unwrap();
+        for (ws, wd) in sparse.waveforms.iter().zip(&dense.waveforms) {
+            for (a, b) in ws.values().iter().zip(wd.values()) {
+                assert!((a - b).abs() < 1e-12, "sparse {a} vs dense {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_restart_equals_single_long_run() {
+        // run(k) twice must produce exactly the same samples as run(2k):
+        // the factorization, state and RHS history carry across calls.
+        let net = single_stage(400.0, 15e-15);
+        let sys = MnaSystem::new(&net, Ohms(120.0)).unwrap();
+        let input = RampInput::rising(1.0, 10e-12);
+        let h = 25e-15;
+        let opts = SimOptions::default();
+        let mut split = TransientSim::new(&sys, &net, &input, None, h, &opts).unwrap();
+        split.run(600).unwrap();
+        split.run(600).unwrap();
+        let mut whole = TransientSim::new(&sys, &net, &input, None, h, &opts).unwrap();
+        whole.run(1200).unwrap();
+        assert_eq!(split.steps_taken(), whole.steps_taken());
+        let (a, b) = (split.into_result(), whole.into_result());
+        for (wa, wb) in a.waveforms.iter().zip(&b.waveforms) {
+            assert_eq!(wa.values(), wb.values(), "warm restart diverged");
+        }
+    }
+
+    #[test]
+    fn capture_set_restricts_waveforms() {
+        let mut b = RcNetBuilder::new("c");
+        let s = b.source("s", Farads(1e-15));
+        let m = b.internal("m", Farads(2e-15));
+        let k = b.sink("k", Farads(3e-15));
+        b.resistor(s, m, Ohms(100.0));
+        b.resistor(m, k, Ohms(150.0));
+        let net = b.build().unwrap();
+        let sys = MnaSystem::new(&net, Ohms(60.0)).unwrap();
+        let input = RampInput::rising(1.0, 5e-12);
+        let horizon = input.ramp + 20.0 * sys.tau_estimate(&net);
+        let opts = SimOptions {
+            solver: SolverKind::SparseLdl,
+            capture: CaptureSet::Nodes(vec![net.source(), net.sinks()[0]]),
+        };
+        let res = simulate_opts(&sys, &net, &input, None, horizon, 800, &opts).unwrap();
+        assert_eq!(res.waveforms.len(), 2);
+        assert!(res.waveform(net.source()).is_some());
+        assert!(res.waveform(net.sinks()[0]).is_some());
+        let m = net.node_by_name("m").unwrap();
+        assert!(res.waveform(m).is_none());
+        // Captured values match a full capture run.
+        let full = simulate(&sys, &net, &input, None, horizon, 800).unwrap();
+        let k = net.sinks()[0];
+        assert_eq!(
+            res.waveform(k).unwrap().values(),
+            full.waveform(k).unwrap().values()
+        );
+    }
+
+    #[test]
     fn falling_aggressor_slows_victim() {
         let mut b = RcNetBuilder::new("v");
         let s = b.source("s", Farads(1e-15));
@@ -238,6 +581,10 @@ mod tests {
         let input = RampInput::rising(1.0, 1e-12);
         assert!(simulate(&sys, &net, &input, None, 0.0, 100).is_err());
         assert!(simulate(&sys, &net, &input, None, 1e-9, 0).is_err());
+        assert!(TransientSim::new(&sys, &net, &input, None, 0.0, &SimOptions::default()).is_err());
+        assert!(
+            TransientSim::new(&sys, &net, &input, None, f64::NAN, &SimOptions::default()).is_err()
+        );
     }
 
     #[test]

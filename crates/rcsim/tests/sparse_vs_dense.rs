@@ -1,0 +1,147 @@
+//! The sparse LDLᵀ production path against the dense LU oracle, on real
+//! generated nets: factorization agreement on assembled iteration
+//! matrices, and end-to-end golden-timing agreement including the
+//! warm-restarted horizon-extension path.
+
+use numeric::{LuFactor, Vector};
+use proptest::prelude::*;
+use rcnet::{Ohms, Seconds};
+use rcsim::mna::MnaSystem;
+use rcsim::{GoldenTimer, SiMode, SolverKind};
+
+fn generated_net(seed: u64, nodes: usize, nontree: bool) -> rcnet::RcNet {
+    let cfg = netgen::nets::NetConfig {
+        nodes_min: nodes,
+        nodes_max: nodes,
+        ..Default::default()
+    };
+    let mut g = netgen::nets::NetGenerator::new(seed, cfg);
+    g.net(format!("t{seed}_{nodes}"), nontree)
+}
+
+/// The trapezoidal iteration matrix `A = C/h + G/2` of an assembled net.
+fn iteration_matrix(sys: &MnaSystem, h: f64) -> numeric::SparseMatrix {
+    let mut a = sys.conductance.clone();
+    for v in a.values_mut() {
+        *v *= 0.5;
+    }
+    for i in 0..sys.dim() {
+        let p = a.index_of(i, i).expect("assembly stamps the diagonal");
+        a.values_mut()[p] += sys.cap_diag[i] / h;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse LDLᵀ must agree with the dense LU oracle on iteration
+    /// matrices assembled from generated nets — trees and nets with
+    /// loops and couplings alike.
+    fn ldl_matches_lu_on_assembled_nets(
+        seed in 0u64..100_000,
+        nodes in 4usize..40,
+        nontree_bit in 0u8..2,
+    ) {
+        let net = generated_net(seed, nodes, nontree_bit == 1);
+        let sys = MnaSystem::new(&net, Ohms(120.0)).unwrap();
+        let h = sys.tau_estimate(&net) / 500.0;
+        let a = iteration_matrix(&sys, h);
+        prop_assert!(a.is_symmetric(1e-9));
+        let ldl = numeric::LdlFactor::new(&a).expect("SPD iteration matrix");
+        let lu = LuFactor::new(&a.to_dense()).expect("dense oracle");
+        let n = sys.dim();
+        let rhs: Vector = (0..n).map(|i| ((i * 13 + seed as usize) % 7) as f64 - 3.0).collect();
+        let x = ldl.solve(&rhs).unwrap();
+        let x_ref = lu.solve(&rhs).unwrap();
+        let scale = x_ref.max_abs().max(1.0);
+        for i in 0..n {
+            prop_assert!(
+                (x[i] - x_ref[i]).abs() <= 1e-9 * scale,
+                "component {} differs: sparse {} vs dense {}", i, x[i], x_ref[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_timings_agree_across_solvers() {
+    // End to end: per-path slew/delay from the sparse path must match
+    // the dense oracle within integration noise on trees, loops and
+    // coupled (SI) nets.
+    for (seed, nodes, nontree) in [(1u64, 8usize, false), (2, 20, true), (3, 33, true)] {
+        let net = generated_net(seed, nodes, nontree);
+        let si = if net.couplings().is_empty() {
+            SiMode::Off
+        } else {
+            SiMode::WorstCase {
+                aggressor_ramp: Seconds::from_ps(20.0),
+            }
+        };
+        let sparse = GoldenTimer::default()
+            .with_steps(1200)
+            .time_net(&net, Seconds::from_ps(20.0), si)
+            .unwrap();
+        let dense = GoldenTimer::default()
+            .with_steps(1200)
+            .with_solver(SolverKind::DenseLu)
+            .time_net(&net, Seconds::from_ps(20.0), si)
+            .unwrap();
+        assert_eq!(sparse.len(), dense.len());
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!(
+                (s.delay.value() - d.delay.value()).abs() <= 1e-9,
+                "net {} delay: sparse {:?} vs dense {:?}",
+                net.name(),
+                s.delay,
+                d.delay
+            );
+            assert!(
+                (s.slew.value() - d.slew.value()).abs() <= 1e-9,
+                "net {} slew: sparse {:?} vs dense {:?}",
+                net.name(),
+                s.slew,
+                d.slew
+            );
+        }
+    }
+}
+
+#[test]
+fn solvers_agree_through_warm_restarted_extension() {
+    // A deliberately short initial horizon forces at least one
+    // warm-restarted extension; both backends must take it and still
+    // agree tightly (identical step size and step count on each path).
+    let net = generated_net(7, 24, true);
+    let before = obs::counter("rcsim.golden.horizon_extensions").get();
+    let sparse = GoldenTimer::default()
+        .with_steps(1500)
+        .with_horizon_tau(0.5)
+        .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+        .unwrap();
+    let mid = obs::counter("rcsim.golden.horizon_extensions").get();
+    assert!(
+        mid > before,
+        "a 0.5-tau horizon must trigger at least one extension"
+    );
+    let dense = GoldenTimer::default()
+        .with_steps(1500)
+        .with_horizon_tau(0.5)
+        .with_solver(SolverKind::DenseLu)
+        .time_net(&net, Seconds::from_ps(20.0), SiMode::Off)
+        .unwrap();
+    for (s, d) in sparse.iter().zip(&dense) {
+        assert!(
+            (s.delay.value() - d.delay.value()).abs() <= 1e-9,
+            "delay: sparse {:?} vs dense {:?}",
+            s.delay,
+            d.delay
+        );
+        assert!(
+            (s.slew.value() - d.slew.value()).abs() <= 1e-9,
+            "slew: sparse {:?} vs dense {:?}",
+            s.slew,
+            d.slew
+        );
+    }
+}

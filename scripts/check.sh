@@ -22,6 +22,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q -p bench --release --bin compute -- --steps 2 \
     --out target/BENCH_compute_smoke.json
 
+# Sparse-solver gates: the dense-vs-sparse golden agreement tests, then
+# the rcsim bench smoke (small sizes, both backends), which asserts the
+# backends agree within 1e-9 s on every measured net.
+cargo test -q -p rcsim --release --test sparse_vs_dense
+cargo run -q -p bench --release --bin rcsim -- --smoke \
+    --out target/BENCH_rcsim_smoke.json
+
 # Loopback smoke test of the inference server: ephemeral port, one SPEF
 # predict (200 + finite slew/delay), /healthz + /metrics, a hot-reload
 # under concurrent load, and a clean drain. Exit code is the verdict.
