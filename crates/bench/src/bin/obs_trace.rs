@@ -1,0 +1,331 @@
+//! `obs-trace`: critical-path analyzer for serve request traces.
+//!
+//! Reads per-request stage breakdowns — either a JSONL dump (one
+//! [`obs::TraceRecord`] per line, as written by `loadgen --traces-out`)
+//! or live from a running server's `GET /v1/traces` — and prints a
+//! stage-attribution report: per-stage latency percentiles, where wall
+//! time goes (queue vs model vs overhead), and the slowest requests
+//! with their dominant stage.
+//!
+//! ```text
+//! # from a dump
+//! cargo run -p bench --release --bin obs-trace -- --input traces.jsonl
+//!
+//! # live, newest 256 traces, slow requests only
+//! cargo run -p bench --release --bin obs-trace -- --url 127.0.0.1:8080 --n 256 --min-ms 5
+//!
+//! # self-contained smoke (scripts/check.sh)
+//! cargo run -p bench --release --bin obs-trace -- --smoke
+//! ```
+
+use obs::{Stage, TraceRecord};
+use serve::json::Json;
+
+struct Args {
+    input: Option<String>,
+    url: Option<String>,
+    n: usize,
+    min_ms: f64,
+    slowest: usize,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            input: None,
+            url: None,
+            n: 512,
+            min_ms: 0.0,
+            slowest: 5,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args::default();
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--input" => args.input = Some(need(&mut argv, "--input")?),
+            "--url" => args.url = Some(need(&mut argv, "--url")?),
+            "--n" => {
+                args.n = need(&mut argv, "--n")?
+                    .parse::<usize>()
+                    .map_err(|_| "--n needs an integer".to_string())?
+                    .max(1);
+            }
+            "--min-ms" => {
+                args.min_ms = need(&mut argv, "--min-ms")?
+                    .parse::<f64>()
+                    .map_err(|_| "--min-ms needs a number".to_string())?
+                    .max(0.0);
+            }
+            "--slowest" => {
+                args.slowest = need(&mut argv, "--slowest")?
+                    .parse::<usize>()
+                    .map_err(|_| "--slowest needs an integer".to_string())?;
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "obs-trace: stage-attribution report for serve request traces\n\
+                     \n  --input PATH   trace JSONL dump (from `loadgen --traces-out`)\
+                     \n  --url ADDR     fetch live traces from HOST:PORT instead\
+                     \n  --n K          traces to fetch in --url mode (default 512)\
+                     \n  --min-ms X     ignore traces faster than X ms total (default 0)\
+                     \n  --slowest K    slowest traces to list (default 5)\
+                     \n  --smoke        run the self-contained smoke test and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !args.smoke && args.input.is_none() && args.url.is_none() {
+        return Err("supply --input PATH or --url HOST:PORT (see --help)".into());
+    }
+    if args.input.is_some() && args.url.is_some() {
+        return Err("--input and --url are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+/// Rebuilds a [`TraceRecord`] from one parsed JSON object (the wire
+/// format of both `/v1/traces` entries and JSONL dump lines).
+fn trace_from_json(t: &Json) -> Option<TraceRecord> {
+    let trace_id = obs::TraceId::parse(t.get("trace_id")?.as_str()?)?;
+    let stages_obj = t.get("stages")?;
+    let mut stages = [0.0f64; 6];
+    for stage in Stage::ALL {
+        stages[stage.index()] = stages_obj.get(stage.name())?.as_f64()? / 1e3;
+    }
+    Some(TraceRecord {
+        trace_id,
+        started_unix_ms: t.get("started_unix_ms")?.as_u64()?,
+        total_s: t.get("total_ms")?.as_f64()? / 1e3,
+        status: t.get("status")?.as_u64()? as u16,
+        nets: t.get("nets")?.as_u64()? as u32,
+        stages,
+    })
+}
+
+fn load_jsonl(path: &str) -> Result<Vec<TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut traces = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed =
+            serve::json::parse(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", i + 1))?;
+        let rec = trace_from_json(&parsed)
+            .ok_or_else(|| format!("{path}:{}: not a trace record", i + 1))?;
+        traces.push(rec);
+    }
+    Ok(traces)
+}
+
+fn fetch_live(url: &str, n: usize) -> Result<Vec<TraceRecord>, String> {
+    let addr: std::net::SocketAddr = url
+        .parse()
+        .map_err(|_| format!("--url must be HOST:PORT, got `{url}`"))?;
+    let mut client = serve::Client::new(addr);
+    let r = client
+        .request("GET", &format!("/v1/traces?n={n}"), None)
+        .map_err(|e| format!("GET /v1/traces failed: {e}"))?;
+    if r.status != 200 {
+        return Err(format!("GET /v1/traces returned {}", r.status));
+    }
+    let parsed = serve::json::parse(&r.body).map_err(|e| format!("traces body: {e}"))?;
+    match parsed.get("traces") {
+        Some(Json::Arr(items)) => Ok(items.iter().filter_map(trace_from_json).collect()),
+        _ => Err("traces body missing `traces` array".into()),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The stage holding the largest share of a trace's wall time.
+fn dominant_stage(t: &TraceRecord) -> Stage {
+    Stage::ALL
+        .into_iter()
+        .max_by(|a, b| {
+            t.stage(*a)
+                .partial_cmp(&t.stage(*b))
+                .expect("finite stage times")
+        })
+        .expect("Stage::ALL is non-empty")
+}
+
+/// Prints the stage-attribution report; returns the fraction of total
+/// wall time that the six stages fail to account for (used by --smoke).
+fn report(traces: &[TraceRecord], slowest: usize) -> f64 {
+    let n = traces.len();
+    let total_s: f64 = traces.iter().map(|t| t.total_s).sum();
+    println!("obs-trace: {n} trace(s), {:.1} ms total wall time", total_s * 1e3);
+    println!();
+
+    // Per-stage latency table.
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>8}", "stage", "p50 ms", "p95 ms", "p99 ms", "mean ms", "share");
+    let mut attributed_s = 0.0;
+    for stage in Stage::ALL {
+        let mut v: Vec<f64> = traces.iter().map(|t| t.stage(stage)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite stage times"));
+        let sum: f64 = v.iter().sum();
+        attributed_s += sum;
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7.1}%",
+            stage.name(),
+            percentile(&v, 50.0) * 1e3,
+            percentile(&v, 95.0) * 1e3,
+            percentile(&v, 99.0) * 1e3,
+            sum / n as f64 * 1e3,
+            if total_s > 0.0 { sum / total_s * 100.0 } else { 0.0 },
+        );
+    }
+    println!();
+
+    // Where does a request's life go?
+    let queue_s: f64 = traces
+        .iter()
+        .map(|t| t.stage(Stage::QueueWait) + t.stage(Stage::BatchWait))
+        .sum();
+    let model_s: f64 = traces.iter().map(|t| t.stage(Stage::Inference)).sum();
+    let other_s = (attributed_s - queue_s - model_s).max(0.0);
+    let unattributed = if total_s > 0.0 {
+        ((total_s - attributed_s) / total_s).abs()
+    } else {
+        0.0
+    };
+    if total_s > 0.0 {
+        println!(
+            "time in queue {:.1}%  |  time in model {:.1}%  |  http/parse/respond {:.1}%  (unattributed {:.2}%)",
+            queue_s / total_s * 100.0,
+            model_s / total_s * 100.0,
+            other_s / total_s * 100.0,
+            unattributed * 100.0,
+        );
+    }
+
+    // Slowest traces with their dominant stage.
+    let k = slowest.min(n);
+    if k > 0 {
+        let mut by_total: Vec<&TraceRecord> = traces.iter().collect();
+        by_total.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite totals"));
+        println!();
+        println!("slowest {k}:");
+        for t in &by_total[..k] {
+            let dom = dominant_stage(t);
+            println!(
+                "  {}  {:>9.3} ms  status {}  nets {:>3}  dominant: {} ({:.1}%)",
+                t.trace_id.to_hex(),
+                t.total_s * 1e3,
+                t.status,
+                t.nets,
+                dom.name(),
+                if t.total_s > 0.0 { t.stage(dom) / t.total_s * 100.0 } else { 0.0 },
+            );
+        }
+    }
+    unattributed
+}
+
+/// Self-contained smoke: spin up an in-process server, generate
+/// traffic, analyze its live traces, and check the attribution adds
+/// up. Exercises the same path `scripts/check.sh` gates on.
+fn smoke() -> i32 {
+    let cfg = serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..Default::default()
+    };
+    let server = match serve::Server::start(cfg, serve::demo_model(3, 12, 10), "obs-trace-smoke") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs-trace: SMOKE FAIL: server failed to start: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr();
+    let mut client = serve::Client::new(addr);
+    let body = r#"{"netgen":{"seed":5,"count":2,"nodes_min":4,"nodes_max":8}}"#;
+    for _ in 0..20 {
+        match client.request("POST", "/v1/predict", Some(body)) {
+            Ok(r) if r.status == 200 => {}
+            Ok(r) => {
+                eprintln!("obs-trace: SMOKE FAIL: predict returned {}: {}", r.status, r.body);
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("obs-trace: SMOKE FAIL: predict failed: {e}");
+                return 1;
+            }
+        }
+    }
+    let traces = match fetch_live(&addr.to_string(), 64) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-trace: SMOKE FAIL: {e}");
+            return 1;
+        }
+    };
+    server.shutdown();
+    if traces.len() < 20 {
+        eprintln!("obs-trace: SMOKE FAIL: expected >= 20 traces, got {}", traces.len());
+        return 1;
+    }
+    let unattributed = report(&traces, 3);
+    // The respond stage is the clamped remainder, so the stage sum can
+    // only undershoot the wall time; 5% matches the integration gate.
+    if unattributed > 0.05 {
+        eprintln!(
+            "obs-trace: SMOKE FAIL: {:.2}% of wall time unattributed (> 5%)",
+            unattributed * 100.0
+        );
+        return 1;
+    }
+    println!("obs-trace: SMOKE PASS");
+    0
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("obs-trace: {m}");
+            std::process::exit(2);
+        }
+    };
+    if args.smoke {
+        std::process::exit(smoke());
+    }
+    let loaded = match (&args.input, &args.url) {
+        (Some(path), None) => load_jsonl(path),
+        (None, Some(url)) => fetch_live(url, args.n),
+        _ => unreachable!("parse_args enforces exactly one source"),
+    };
+    let mut traces = match loaded {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    traces.retain(|t| t.total_s * 1e3 >= args.min_ms);
+    if traces.is_empty() {
+        eprintln!("obs-trace: no traces to analyze (after --min-ms filter)");
+        std::process::exit(1);
+    }
+    report(&traces, args.slowest);
+}

@@ -253,12 +253,27 @@ impl Sink for JsonlSink {
     fn emit(&self, event: &Event<'_>) {
         let line = Self::render(event);
         let mut out = self.out.lock().expect("jsonl sink poisoned");
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .is_err()
+        {
+            // The event is gone (disk full, closed fd, ...); account
+            // for it instead of discarding silently.
+            crate::metrics::counter("obs.events.dropped").inc();
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        if self
+            .out
+            .lock()
+            .expect("jsonl sink poisoned")
+            .flush()
+            .is_err()
+        {
+            crate::metrics::counter("obs.events.dropped").inc();
+        }
     }
 }
 
@@ -497,5 +512,32 @@ mod tests {
              \"message\":\"line1\\nline2\",\"fields\":{\"k\":\"v\"}}\n"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn jsonl_sink_counts_dropped_events_on_write_failure() {
+        let _g = lock();
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        let Ok(sink) = JsonlSink::create("/dev/full") else {
+            return; // minimal container without /dev/full
+        };
+        let dropped = crate::metrics::counter("obs.events.dropped");
+        let before = dropped.get();
+        // A field larger than BufWriter's buffer forces the write
+        // through to the failing fd inside emit itself.
+        let big = "x".repeat(64 * 1024);
+        sink.emit(&Event {
+            level: Level::Error,
+            target: "obs.test",
+            message: "doomed",
+            fields: &[("payload", Value::from(big))],
+            ts_unix_ms: 1,
+        });
+        sink.flush();
+        assert!(
+            dropped.get() > before,
+            "failed sink writes must increment obs.events.dropped"
+        );
     }
 }

@@ -15,6 +15,10 @@
 //! * **Reports** — [`RunReport::capture()`] snapshots the span tree and
 //!   metrics registry into a single JSON document; experiment binaries
 //!   expose it via `--obs-json <path>`.
+//! * **Traces** — request-scoped [`TraceContext`]s with an ambient
+//!   per-thread scope ([`trace::scope`]), a lock-light ring of completed
+//!   [`TraceRecord`]s, histogram exemplars carrying trace ids, and a
+//!   Prometheus text renderer ([`prometheus::render_current`]).
 //!
 //! ```
 //! let _run = obs::span("example");
@@ -27,23 +31,29 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use event::{
     add_sink, emit, enabled, flush, level, set_level, set_sinks, Event, JsonlSink, Level, Sink,
     StderrSink, Value,
 };
 pub use metrics::{
-    counter, counter_labeled, exponential_bounds, gauge, gauge_labeled, histogram, histogram_with,
-    Counter, Gauge, Histogram, HistogramInner, Key, MetricsSnapshot,
+    counter, counter_labeled, duration_bounds, exponential_bounds, gauge, gauge_labeled, histogram,
+    histogram_labeled, histogram_with, Counter, Exemplar, Gauge, Histogram, HistogramInner, Key,
+    MetricsSnapshot,
 };
 pub use report::RunReport;
 pub use span::{span, with_span, Span, SpanEntry, SpanStats};
+pub use trace::{SpanId, Stage, TraceContext, TraceId, TraceRecord, TraceRing};
 
-/// Clears all global observability state: spans, metrics. Events keep
-/// their sinks and level. Intended for test isolation.
+/// Clears all global observability state: spans, metrics, the trace
+/// ring. Events keep their sinks and level. Intended for test
+/// isolation.
 pub fn reset() {
     span::reset();
     metrics::reset();
+    trace::reset();
 }

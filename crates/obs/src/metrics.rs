@@ -6,9 +6,11 @@
 //! update it lock-free. Names follow the `crate.module.op` convention
 //! (see the Observability section of DESIGN.md).
 
+use crate::trace::TraceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Registry key: metric name plus optional label value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +67,19 @@ impl Gauge {
     }
 }
 
+/// A sample observation annotated with the trace it came from —
+/// rendered on the Prometheus `+Inf` bucket line (OpenMetrics style) so
+/// a p99+ latency spike links straight to its `/v1/traces` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// Trace id of the request that produced it.
+    pub trace_id: TraceId,
+    /// Milliseconds since the Unix epoch when it was observed.
+    pub unix_ms: u64,
+}
+
 /// Fixed-bucket histogram with lock-free observation.
 ///
 /// `bounds` are the ascending bucket upper edges; an observation lands
@@ -77,6 +92,7 @@ pub struct HistogramInner {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 /// Shared handle to a registered histogram.
@@ -93,6 +109,7 @@ impl HistogramInner {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -120,6 +137,38 @@ impl HistogramInner {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (v > f64::from_bits(bits)).then(|| v.to_bits())
             });
+    }
+
+    /// Records one observation, attaching `trace` as an exemplar when
+    /// the observation is tail-worthy: the exemplar slot is empty, or
+    /// `v` reaches the current p99 estimate. The plain [`observe`]
+    /// fast path is untouched — exemplar upkeep costs one quantile
+    /// scan plus a short mutex hold, only on traced observations.
+    ///
+    /// [`observe`]: HistogramInner::observe
+    pub fn observe_traced(&self, v: f64, trace: Option<TraceId>) {
+        self.observe(v);
+        let Some(trace_id) = trace else { return };
+        if !v.is_finite() {
+            return;
+        }
+        let mut slot = self.exemplar.lock().expect("exemplar slot poisoned");
+        let p99 = self.quantile(0.99);
+        if slot.is_none() || !p99.is_finite() || v >= p99 {
+            *slot = Some(Exemplar {
+                value: v,
+                trace_id,
+                unix_ms: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+            });
+        }
+    }
+
+    /// The most recent tail exemplar, if any traced observation landed.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar.lock().expect("exemplar slot poisoned").clone()
     }
 
     /// Number of observations.
@@ -228,8 +277,20 @@ pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
     v
 }
 
-fn default_bounds() -> Vec<f64> {
-    exponential_bounds(1e-6, 4.0, 16)
+/// Bucket bounds for duration histograms: factor-2 exponential from
+/// 1 µs to ~33.6 s (26 edges). Fine enough that sub-millisecond stage
+/// timings (queue_wait, parse) resolve distinct percentiles instead of
+/// saturating one coarse bucket.
+pub fn duration_bounds() -> Vec<f64> {
+    exponential_bounds(1e-6, 2.0, 26)
+}
+
+fn default_bounds_for(name: &str) -> Vec<f64> {
+    if name.ends_with("_seconds") {
+        duration_bounds()
+    } else {
+        exponential_bounds(1e-6, 4.0, 16)
+    }
 }
 
 #[derive(Default)]
@@ -276,10 +337,18 @@ pub fn gauge_labeled(name: &str, label: Option<&str>) -> Gauge {
         .clone()
 }
 
-/// The histogram registered under `name`, with the default exponential
-/// bounds when first created (1 µs .. ~4.3 s, factor 4).
+/// The histogram registered under `name`, with default bounds chosen
+/// by name when first created: `*_seconds` histograms get the fine
+/// factor-2 [`duration_bounds`] (1 µs .. ~33.6 s), everything else the
+/// coarser factor-4 exponential (1 µs .. ~4.3 s).
 pub fn histogram(name: &str) -> Histogram {
-    histogram_with(name, None, default_bounds)
+    histogram_labeled(name, None)
+}
+
+/// The histogram under `name` + `label`, with the same name-aware
+/// default bounds as [`histogram`].
+pub fn histogram_labeled(name: &str, label: Option<&str>) -> Histogram {
+    histogram_with(name, label, || default_bounds_for(name))
 }
 
 /// The histogram under `name` + `label`; `bounds` supplies the bucket
@@ -433,6 +502,45 @@ mod tests {
         let empty = histogram_with("obs.test.hist_empty", None, || vec![1.0]);
         assert!(empty.quantile(0.5).is_nan());
         assert!(empty.mean().is_nan());
+    }
+
+    #[test]
+    fn seconds_histograms_get_fine_duration_bounds() {
+        let h = histogram("obs.test.duration_seconds");
+        let bounds: Vec<f64> = h.buckets().iter().map(|(b, _)| *b).collect();
+        // 26 finite factor-2 edges + overflow.
+        assert_eq!(bounds.len(), 27);
+        assert!((bounds[0] - 1e-6).abs() < 1e-18);
+        assert!((bounds[1] / bounds[0] - 2.0).abs() < 1e-9);
+        let coarse = histogram("obs.test.duration_other");
+        assert_eq!(coarse.buckets().len(), 17);
+    }
+
+    #[test]
+    fn exemplar_tracks_tail_observations() {
+        let h = histogram_with("obs.test.hist_exemplar", None, || {
+            exponential_bounds(1e-3, 2.0, 10)
+        });
+        assert_eq!(h.exemplar(), None);
+        h.observe(0.5); // untraced: never creates an exemplar
+        assert_eq!(h.exemplar(), None);
+        let slow = TraceId(7);
+        let fast = TraceId(9);
+        h.observe_traced(0.010, Some(slow));
+        let first = h.exemplar().expect("first traced observation sticks");
+        assert_eq!(first.trace_id, slow);
+        assert_eq!(first.value, 0.010);
+        // A small observation must not displace a tail exemplar...
+        for _ in 0..100 {
+            h.observe(0.5);
+        }
+        h.observe_traced(0.001, Some(fast));
+        assert_eq!(h.exemplar().unwrap().trace_id, slow);
+        // ...but a p99+ one does.
+        h.observe_traced(0.9, Some(fast));
+        let tail = h.exemplar().unwrap();
+        assert_eq!(tail.trace_id, fast);
+        assert_eq!(tail.value, 0.9);
     }
 
     #[test]

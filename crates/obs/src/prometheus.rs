@@ -1,0 +1,419 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the classic text format
+//! (version 0.0.4): one `# TYPE` line per family, counters suffixed
+//! `_total`, histograms expanded into cumulative `_bucket{le="..."}`
+//! series plus `_sum`/`_count`. Dotted registry names (`serve.request.
+//! seconds`) are mangled to legal Prometheus names (`serve_request_
+//! seconds`), and the registry's single free-form label is mapped to a
+//! meaningful label key per metric (e.g. `serve.stage_seconds` → the
+//! `stage` label).
+//!
+//! Histogram exemplars ride on the `+Inf` bucket line in OpenMetrics
+//! style — ` # {trace_id="..."} value timestamp` — so a p99 latency
+//! spike on a Grafana panel links directly to its `/v1/traces` entry.
+//! Strict Prometheus-0.0.4 scrapers that reject exemplar syntax can
+//! strip trailing `#` comments; our own [`validate`] accepts them.
+//!
+//! [`validate`] is the other half: a structural checker used by the
+//! check.sh smoke gate and the serve integration tests to guarantee the
+//! endpoint emits well-formed exposition (legal names, one `# TYPE` per
+//! family, no duplicate samples, parseable values).
+
+use crate::metrics::{snapshot, Exemplar, Histogram, Key, MetricsSnapshot};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// The label key used for a metric's registry label, chosen by name so
+/// the exposition is self-describing (`par.tasks{kind="..."}` rather
+/// than a generic `label="..."`).
+fn label_key(name: &str) -> &'static str {
+    match name {
+        "serve.stage_seconds" => "stage",
+        "serve.http.requests" => "endpoint",
+        "serve.http.responses" => "status",
+        "par.tasks" | "par.task_seconds" => "kind",
+        "rcsim.solver.nets" => "backend",
+        "bench.experiment.wall_seconds" => "experiment",
+        _ => "label",
+    }
+}
+
+/// Mangles a dotted registry name into a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with `.` and every other illegal byte
+/// mapped to `_`, and a leading digit guarded by an underscore.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (`\\`, `\"`, `\n`).
+fn push_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a sample value: finite values via Rust's shortest-round-trip
+/// `{}`, non-finite as Prometheus' `+Inf` / `-Inf` / `NaN` tokens.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_series(out: &mut String, name: &str, label: Option<(&str, &str)>, extra: Option<(&str, &str)>) {
+    out.push_str(name);
+    if label.is_some() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in [label, extra].into_iter().flatten() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            push_label_value(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+fn push_exemplar(out: &mut String, ex: &Exemplar) {
+    out.push_str(" # {trace_id=\"");
+    push_label_value(out, &ex.trace_id.to_hex());
+    out.push_str("\"} ");
+    out.push_str(&fmt_value(ex.value));
+    out.push(' ');
+    let _ = write!(out, "{:.3}", ex.unix_ms as f64 / 1e3);
+}
+
+fn push_histogram(out: &mut String, fam: &str, label: Option<(&str, &str)>, h: &Histogram) {
+    let bucket_name = format!("{fam}_bucket");
+    let mut cumulative = 0u64;
+    let exemplar = h.exemplar();
+    for (bound, count) in h.buckets() {
+        cumulative += count;
+        let le = if bound == f64::INFINITY {
+            "+Inf".to_string()
+        } else {
+            fmt_value(bound)
+        };
+        push_series(out, &bucket_name, label, Some(("le", &le)));
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        if bound == f64::INFINITY {
+            if let Some(ex) = &exemplar {
+                push_exemplar(out, ex);
+            }
+        }
+        out.push('\n');
+    }
+    push_series(out, &format!("{fam}_sum"), label, None);
+    out.push(' ');
+    // An empty histogram's sum is 0.0; guard NaN from min/max not sum.
+    out.push_str(&fmt_value(h.sum()));
+    out.push('\n');
+    push_series(out, &format!("{fam}_count"), label, None);
+    out.push(' ');
+    out.push_str(&cumulative.to_string());
+    out.push('\n');
+}
+
+fn label_pair(key: &Key) -> Option<(&'static str, &str)> {
+    key.label
+        .as_deref()
+        .map(|v| (label_key(&key.name), v))
+}
+
+/// Renders `snap` in Prometheus text exposition format.
+///
+/// Counter families get a `_total` suffix; the snapshot is sorted by
+/// key, so all series of one family are adjacent and each family's
+/// `# TYPE` header is emitted exactly once.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut last_family = String::new();
+    for (key, value) in &snap.counters {
+        let fam = format!("{}_total", sanitize_name(&key.name));
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} counter");
+            last_family = fam.clone();
+        }
+        push_series(&mut out, &fam, label_pair(key), None);
+        let _ = writeln!(out, " {value}");
+    }
+    last_family.clear();
+    for (key, value) in &snap.gauges {
+        let fam = sanitize_name(&key.name);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} gauge");
+            last_family = fam.clone();
+        }
+        push_series(&mut out, &fam, label_pair(key), None);
+        let _ = writeln!(out, " {}", fmt_value(*value));
+    }
+    last_family.clear();
+    for (key, hist) in &snap.histograms {
+        let fam = sanitize_name(&key.name);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} histogram");
+            last_family = fam.clone();
+        }
+        push_histogram(&mut out, &fam, label_pair(key), hist);
+    }
+    out
+}
+
+/// Renders the live registry ([`render`] over [`snapshot`]).
+pub fn render_current() -> String {
+    render(&snapshot())
+}
+
+fn legal_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn legal_value(v: &str) -> bool {
+    matches!(v, "+Inf" | "-Inf" | "NaN") || v.parse::<f64>().is_ok()
+}
+
+/// The family a sample belongs to given its declared type: histogram
+/// samples must use the `_bucket`/`_sum`/`_count` suffixes.
+fn sample_family<'a>(name: &'a str, types: &HashMap<String, String>) -> Option<&'a str> {
+    if let Some(fam) = name
+        .strip_suffix("_bucket")
+        .or_else(|| name.strip_suffix("_sum"))
+        .or_else(|| name.strip_suffix("_count"))
+    {
+        if types.get(fam).map(String::as_str) == Some("histogram") {
+            return Some(fam);
+        }
+    }
+    // OpenMetrics-style counters declare the family without the
+    // `_total` sample suffix; accept both conventions.
+    if let Some(fam) = name.strip_suffix("_total") {
+        if types.get(fam).map(String::as_str) == Some("counter") {
+            return Some(fam);
+        }
+    }
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    None
+}
+
+/// Splits a sample line into (series-with-labels, value), tolerating an
+/// OpenMetrics exemplar (` # {...} value ts`) after the value.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    // Labels may contain spaces inside quotes; find the closing brace
+    // first when present.
+    let series_end = if let Some(open) = line.find('{') {
+        let mut in_quotes = false;
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in line[open..].char_indices() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_quotes = !in_quotes,
+                '}' if !in_quotes => {
+                    end = Some(open + i + 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        end?
+    } else {
+        line.find(' ')?
+    };
+    let series = line[..series_end].trim();
+    let rest = line[series_end..].trim_start();
+    // Value runs to the next space or the exemplar comment.
+    let value = rest
+        .split(' ')
+        .next()
+        .filter(|v| !v.is_empty())?;
+    Some((series, value))
+}
+
+/// Structurally validates Prometheus text exposition: legal metric
+/// names, at most one `# TYPE` per family, samples attributable to a
+/// declared family, no duplicate samples, parseable values. Returns a
+/// description of the first problem found.
+///
+/// # Errors
+///
+/// Returns `Err(message)` naming the offending line.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut seen_samples: HashSet<String> = HashSet::new();
+    // First pass: collect TYPE declarations (they must precede their
+    // samples in our renderer, but accept any order to stay liberal).
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let (Some(fam), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {}: malformed # TYPE line", lineno + 1));
+            };
+            if !legal_name(fam) {
+                return Err(format!("line {}: illegal family name `{fam}`", lineno + 1));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {}: unknown type `{kind}`", lineno + 1));
+            }
+            if types.insert(fam.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {}: duplicate # TYPE for `{fam}`", lineno + 1));
+            }
+        }
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = split_sample(line) else {
+            return Err(format!("line {}: malformed sample", lineno + 1));
+        };
+        let name = series.split('{').next().unwrap_or(series);
+        if !legal_name(name) {
+            return Err(format!("line {}: illegal metric name `{name}`", lineno + 1));
+        }
+        if sample_family(name, &types).is_none() {
+            return Err(format!(
+                "line {}: sample `{name}` has no matching # TYPE family",
+                lineno + 1
+            ));
+        }
+        if !legal_value(value) {
+            return Err(format!("line {}: bad value `{value}`", lineno + 1));
+        }
+        if !seen_samples.insert(series.to_string()) {
+            return Err(format!("line {}: duplicate sample `{series}`", lineno + 1));
+        }
+    }
+    if types.is_empty() {
+        return Err("no # TYPE declarations found".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{
+        counter_labeled, exponential_bounds, gauge, histogram_labeled, histogram_with,
+    };
+    use crate::trace::TraceId;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("serve.request.seconds"), "serve_request_seconds");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert!(legal_name(&sanitize_name("весы.metric")));
+    }
+
+    #[test]
+    fn renders_and_validates_all_metric_kinds() {
+        counter_labeled("prom.test.requests", Some("/v1/x")).add(3);
+        counter_labeled("prom.test.requests", Some("/v1/y")).inc();
+        gauge("prom.test.temperature").set(-1.5);
+        gauge("prom.test.unset"); // NaN
+        let h = histogram_with("prom.test.latency_seconds", None, || {
+            exponential_bounds(1e-3, 10.0, 3)
+        });
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = render_current();
+        validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("# TYPE prom_test_requests_total counter"), "{text}");
+        assert!(text.contains("prom_test_requests_total{label=\"/v1/x\"} 3"), "{text}");
+        assert!(text.contains("prom_test_temperature -1.5"), "{text}");
+        assert!(text.contains("prom_test_unset NaN"), "{text}");
+        assert!(text.contains("# TYPE prom_test_latency_seconds histogram"), "{text}");
+        assert!(text.contains("prom_test_latency_seconds_bucket{le=\"0.001\"} 0"), "{text}");
+        assert!(text.contains("prom_test_latency_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("prom_test_latency_seconds_sum 5.5"), "{text}");
+        assert!(text.contains("prom_test_latency_seconds_count 2"), "{text}");
+        // One TYPE header per family even with multiple labeled series.
+        assert_eq!(text.matches("# TYPE prom_test_requests_total").count(), 1);
+    }
+
+    #[test]
+    fn renders_exemplar_on_inf_bucket() {
+        let h = histogram_labeled("prom.test.stage_seconds", Some("inference"));
+        h.observe_traced(0.25, Some(TraceId(0xfeed)));
+        let text = render_current();
+        validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("prom_test_stage_seconds_bucket") && l.contains("+Inf"))
+            .expect("has +Inf bucket");
+        assert!(
+            inf_line.contains(&format!("# {{trace_id=\"{}\"}} 0.25", TraceId(0xfeed).to_hex())),
+            "{inf_line}"
+        );
+        assert!(inf_line.contains("label=\"inference\""), "{inf_line}");
+    }
+
+    #[test]
+    fn stage_seconds_uses_stage_label_key() {
+        let h = histogram_labeled("serve.stage_seconds", Some("queue_wait"));
+        h.observe(0.001);
+        let text = render_current();
+        validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(
+            text.contains("serve_stage_seconds_bucket{stage=\"queue_wait\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_exposition() {
+        assert!(validate("").is_err());
+        assert!(validate("# TYPE x counter\n# TYPE x counter\nx_total 1\n").is_err());
+        assert!(validate("# TYPE x counter\n9bad 1\n").is_err());
+        assert!(validate("# TYPE x counter\nx_total nope\n").is_err());
+        assert!(validate("# TYPE x counter\nx_total 1\nx_total 1\n").is_err());
+        assert!(validate("orphan 1\n").is_err());
+        assert!(validate("# TYPE x bogus\n").is_err());
+        let ok = "# TYPE a counter\na_total{k=\"v\"} 1\na_total{k=\"w\"} 2\n\
+                  # TYPE b histogram\nb_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 0.5 1.0\nb_sum 0.5\nb_count 1\n";
+        validate(ok).unwrap();
+    }
+}

@@ -29,6 +29,7 @@ struct Args {
     sweep: Vec<usize>,
     nets_per_request: usize,
     out: String,
+    traces_out: Option<String>,
 }
 
 impl Default for Args {
@@ -41,6 +42,7 @@ impl Default for Args {
             sweep: vec![1, 8],
             nets_per_request: 4,
             out: "BENCH_serve.json".into(),
+            traces_out: None,
         }
     }
 }
@@ -88,6 +90,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .max(1);
             }
             "--out" => args.out = need(&mut argv, "--out")?,
+            "--traces-out" => args.traces_out = Some(need(&mut argv, "--traces-out")?),
             "--help" | "-h" => {
                 println!(
                     "loadgen: benchmark driver for the serve crate\n\
@@ -97,7 +100,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \n  --rate RPS             fixed-rate mode at RPS total (default: closed-loop)\
                      \n  --workers-sweep A,B    in-process worker counts to sweep (default 1,8)\
                      \n  --nets-per-request N   nets per predict request (default 4)\
-                     \n  --out PATH             result file (default BENCH_serve.json)"
+                     \n  --out PATH             result file (default BENCH_serve.json)\
+                     \n  --traces-out PATH      dump sampled request traces as JSONL (for obs-trace)"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +179,9 @@ struct RunResult {
     elapsed: Duration,
     /// Sorted latencies in seconds.
     latencies: Vec<f64>,
+    /// Per-request stage traces sampled from `/v1/traces` after the
+    /// run (empty when the server does not expose them).
+    traces: Vec<obs::TraceRecord>,
 }
 
 impl RunResult {
@@ -188,6 +195,63 @@ impl RunResult {
         }
         let idx = ((self.latencies.len() as f64 - 1.0) * p / 100.0).round() as usize;
         self.latencies[idx.min(self.latencies.len() - 1)]
+    }
+
+    /// Median milliseconds spent in `stage` across the sampled traces.
+    fn stage_median_ms(&self, stage: obs::Stage) -> f64 {
+        let mut v: Vec<f64> = self.traces.iter().map(|t| t.stage(stage) * 1e3).collect();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite stage times"));
+        v[v.len() / 2]
+    }
+}
+
+/// Rebuilds an [`obs::TraceRecord`] from one `/v1/traces` entry.
+fn trace_from_json(t: &serve::json::Json) -> Option<obs::TraceRecord> {
+    let trace_id = obs::TraceId::parse(t.get("trace_id")?.as_str()?)?;
+    let stages_obj = t.get("stages")?;
+    let mut stages = [0.0f64; 6];
+    for stage in obs::Stage::ALL {
+        stages[stage.index()] = stages_obj.get(stage.name())?.as_f64()? / 1e3;
+    }
+    Some(obs::TraceRecord {
+        trace_id,
+        started_unix_ms: t.get("started_unix_ms")?.as_u64()?,
+        total_s: t.get("total_ms")?.as_f64()? / 1e3,
+        status: t.get("status")?.as_u64()? as u16,
+        nets: t.get("nets")?.as_u64()? as u32,
+        stages,
+    })
+}
+
+/// Samples recent request traces from the server after a run. Returns
+/// an empty vec (with a note) when the endpoint is unavailable — e.g.
+/// `--url` mode against an older server build.
+fn fetch_traces(addr: SocketAddr) -> Vec<obs::TraceRecord> {
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+    match client.request("GET", "/v1/traces?n=512", None) {
+        Ok(r) if r.status == 200 => match serve::json::parse(&r.body) {
+            Ok(parsed) => match parsed.get("traces") {
+                Some(serve::json::Json::Arr(items)) => {
+                    items.iter().filter_map(trace_from_json).collect()
+                }
+                _ => Vec::new(),
+            },
+            Err(e) => {
+                eprintln!("loadgen: note: /v1/traces body unparseable ({e}); no stage breakdown");
+                Vec::new()
+            }
+        },
+        Ok(r) => {
+            eprintln!("loadgen: note: /v1/traces returned {}; no stage breakdown", r.status);
+            Vec::new()
+        }
+        Err(e) => {
+            eprintln!("loadgen: note: /v1/traces unavailable ({e}); no stage breakdown");
+            Vec::new()
+        }
     }
 }
 
@@ -248,6 +312,7 @@ fn drive(addr: SocketAddr, bodies: &[String], args: &Args, workers: Option<usize
         errors,
         elapsed: started.elapsed(),
         latencies,
+        traces: fetch_traces(addr),
     }
 }
 
@@ -279,7 +344,30 @@ fn push_run(out: &mut String, r: &RunResult) {
         out.push_str("\":");
         obs::json::push_f64(out, r.percentile(*p) * 1e3);
     }
-    out.push_str("}}");
+    out.push('}');
+    if !r.traces.is_empty() {
+        out.push_str(",\"traced_requests\":");
+        out.push_str(&r.traces.len().to_string());
+        out.push_str(",\"stage_ms_median\":{");
+        for (i, stage) in [
+            obs::Stage::QueueWait,
+            obs::Stage::BatchWait,
+            obs::Stage::Inference,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(stage.name());
+            out.push_str("\":");
+            obs::json::push_f64(out, r.stage_median_ms(stage));
+        }
+        out.push('}');
+    }
+    out.push('}');
 }
 
 fn host_cores() -> usize {
@@ -336,6 +424,15 @@ fn summarize(r: &RunResult) {
         r.percentile(95.0) * 1e3,
         r.percentile(99.0) * 1e3,
     );
+    if !r.traces.is_empty() {
+        eprintln!(
+            "loadgen: {who}: stage medians over {} traces: queue_wait {:.2} ms, batch_wait {:.2} ms, inference {:.2} ms",
+            r.traces.len(),
+            r.stage_median_ms(obs::Stage::QueueWait),
+            r.stage_median_ms(obs::Stage::BatchWait),
+            r.stage_median_ms(obs::Stage::Inference),
+        );
+    }
 }
 
 fn main() {
@@ -390,6 +487,10 @@ fn main() {
                 ..Default::default()
             };
             drive(addr, &bodies, &warm, None);
+            // The trace ring is process-global here (server runs
+            // in-process): clear it so the sampled stage breakdown
+            // covers only this run's measured window.
+            obs::trace::ring().clear();
             eprintln!("loadgen: measuring {workers} worker(s) for {:?}", args.duration);
             let run = drive(addr, &bodies, &args, Some(workers));
             summarize(&run);
@@ -410,6 +511,25 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("loadgen: wrote {}", args.out);
+    if let Some(path) = &args.traces_out {
+        let mut jsonl = String::new();
+        for run in &runs {
+            for t in &run.traces {
+                t.push_json(&mut jsonl);
+                jsonl.push('\n');
+            }
+        }
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => eprintln!(
+                "loadgen: wrote {} trace(s) to {path}",
+                runs.iter().map(|r| r.traces.len()).sum::<usize>()
+            ),
+            Err(e) => {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if runs.len() >= 2 {
         let speedup = runs[runs.len() - 1].throughput() / runs[0].throughput().max(1e-9);
         eprintln!(

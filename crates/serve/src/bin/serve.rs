@@ -90,6 +90,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .map_err(|_| "--deadline-ms needs an integer".to_string())?;
                 args.cfg.deadline = Duration::from_millis(ms.max(1));
             }
+            "--slow-ms" => {
+                let ms: u64 = need(&mut argv, "--slow-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-ms needs an integer".to_string())?;
+                args.cfg.slow_request = Duration::from_millis(ms);
+            }
             "--model" => args.model = Some(need(&mut argv, "--model")?),
             "--train-demo" => args.train_demo = true,
             "--smoke" => args.smoke = true,
@@ -102,6 +108,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \n  --queue-cap N      bounded queue capacity (default 256)\
                      \n  --batch-max N      micro-batch size cap (default 16)\
                      \n  --deadline-ms N    per-request deadline (default 5000)\
+                     \n  --slow-ms N        slow-request event threshold (default 250)\
                      \n  --model PATH       checkpoint to serve (from WireTimingEstimator::save)\
                      \n  --train-demo       train a small synthetic model instead of loading one\
                      \n  --smoke            run the in-process smoke test and exit\
@@ -278,7 +285,58 @@ fn smoke(args: Args) -> i32 {
     }
     eprintln!("serve: smoke healthz + metrics ok");
 
-    // 4. Hot-reload under concurrent predict load: zero failures.
+    // 4. Tracing round-trip: the predict above must have carried a
+    // non-empty x-trace-id, and that trace must be queryable from
+    // /v1/traces with every pipeline stage recorded.
+    let trace_id = match r.header("x-trace-id") {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => return fail("predict response missing x-trace-id header"),
+    };
+    match client.request("GET", "/v1/traces?n=64", None) {
+        Ok(r) if r.status == 200 => {
+            let parsed = match serve::json::parse(&r.body) {
+                Ok(v) => v,
+                Err(e) => return fail(&format!("traces body is not JSON: {e}")),
+            };
+            let Some(Json::Arr(traces)) = parsed.get("traces").cloned() else {
+                return fail("traces body missing `traces` array");
+            };
+            let Some(t) = traces.iter().find(|t| {
+                t.get("trace_id").and_then(Json::as_str) == Some(trace_id.as_str())
+            }) else {
+                return fail(&format!("trace {trace_id} not found in /v1/traces"));
+            };
+            for stage in obs::Stage::ALL {
+                let v = t
+                    .get("stages")
+                    .and_then(|s| s.get(stage.name()))
+                    .and_then(Json::as_f64);
+                match v {
+                    Some(ms) if ms >= 0.0 => {}
+                    _ => return fail(&format!("trace missing stage `{}`", stage.name())),
+                }
+            }
+        }
+        Ok(r) => return fail(&format!("traces returned {}", r.status)),
+        Err(e) => return fail(&format!("traces request failed: {e}")),
+    }
+
+    // 5. Prometheus exposition: must pass the structural validator.
+    match client.request("GET", "/metrics?format=prometheus", None) {
+        Ok(r) if r.status == 200 => {
+            if let Err(e) = obs::prometheus::validate(&r.body) {
+                return fail(&format!("prometheus exposition invalid: {e}"));
+            }
+            if !r.body.contains("serve_stage_seconds_bucket") {
+                return fail("prometheus exposition missing serve_stage_seconds histogram");
+            }
+        }
+        Ok(r) => return fail(&format!("prometheus metrics returned {}", r.status)),
+        Err(e) => return fail(&format!("prometheus metrics request failed: {e}")),
+    }
+    eprintln!("serve: smoke trace round-trip + prometheus ok (trace {trace_id})");
+
+    // 6. Hot-reload under concurrent predict load: zero failures.
     let ckpt = std::env::temp_dir().join(format!("serve_smoke_reload_{}.bin", std::process::id()));
     if let Err(e) = demo_model(23, 12, 10).save(&ckpt) {
         return fail(&format!("cannot save reload checkpoint: {e}"));
@@ -332,7 +390,7 @@ fn smoke(args: Args) -> i32 {
     }
     eprintln!("serve: smoke hot-reload ok ({ok_total} in-flight predicts, 0 failed)");
 
-    // 5. Graceful shutdown via the admin endpoint.
+    // 7. Graceful shutdown via the admin endpoint.
     match client.request("POST", "/admin/shutdown", None) {
         Ok(r) if r.status == 200 => {}
         Ok(r) => return fail(&format!("shutdown returned {}", r.status)),

@@ -13,7 +13,7 @@ pub struct Client {
     conn: Option<BufReader<TcpStream>>,
 }
 
-/// A parsed response: status code plus body text.
+/// A parsed response: status code, headers, body text.
 #[derive(Debug)]
 pub struct ClientResponse {
     /// HTTP status code.
@@ -22,6 +22,18 @@ pub struct ClientResponse {
     pub body: String,
     /// `Retry-After` header value, when present.
     pub retry_after: Option<String>,
+    /// All response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ClientResponse {
+    /// First value of the (lower-cased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 impl Client {
@@ -62,13 +74,29 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
-        match self.request_once(method, path, body) {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Like [`Client::request`], with extra request headers (e.g. an
+    /// `x-trace-id` the caller wants the server to honor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        match self.request_once(method, path, body, headers) {
             Ok(r) => Ok(r),
             Err(_) => {
                 // The server may have closed an idle keep-alive
                 // connection; retry exactly once on a fresh one.
                 self.conn = None;
-                self.request_once(method, path, body)
+                self.request_once(method, path, body, headers)
             }
         }
     }
@@ -78,13 +106,21 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         let conn = self.connect()?;
         let payload = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             payload.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let stream = conn.get_mut();
         stream.write_all(head.as_bytes())?;
         stream.write_all(payload.as_bytes())?;
@@ -123,6 +159,7 @@ fn read_response(conn: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResp
     let mut content_length = 0usize;
     let mut retry_after = None;
     let mut keep_open = true;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if conn.read_line(&mut line)? == 0 {
@@ -143,6 +180,7 @@ fn read_response(conn: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResp
                 "connection" if value.eq_ignore_ascii_case("close") => keep_open = false,
                 _ => {}
             }
+            headers.push((name, value.to_string()));
         }
     }
     let mut body = vec![0u8; content_length];
@@ -153,6 +191,7 @@ fn read_response(conn: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResp
             status,
             body,
             retry_after,
+            headers,
         },
         keep_open,
     ))

@@ -5,6 +5,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Hard cap on a single header line (anti-abuse).
 const MAX_HEADER_LINE: usize = 8 * 1024;
@@ -49,12 +50,17 @@ pub struct Request {
     pub method: String,
     /// Path component, query string stripped.
     pub path: String,
+    /// Raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Lower-cased header names with raw values.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// When the request line arrived — the start of the request's
+    /// wall clock (keep-alive idle time before it is excluded).
+    pub read_started: Instant,
 }
 
 impl Request {
@@ -64,6 +70,15 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name` (`?name=value&...`). No
+    /// percent-decoding — the service's parameters are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 
     /// The body as UTF-8, or an error suitable for a 400.
@@ -104,6 +119,7 @@ pub fn read_request(
     max_body: usize,
 ) -> Result<Request, HttpError> {
     let request_line = read_line(reader)?.ok_or(HttpError::ConnectionClosed)?;
+    let read_started = Instant::now();
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -116,7 +132,10 @@ pub fn read_request(
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Bad(format!("unsupported version `{version}`")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -161,9 +180,11 @@ pub fn read_request(
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
         keep_alive,
+        read_started,
     })
 }
 
@@ -199,6 +220,18 @@ impl Response {
         Response {
             status,
             headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format version).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
             body: body.into(),
         }
     }

@@ -8,7 +8,11 @@
 //!   (or a `netgen` spec for demos); requests are queued and
 //!   micro-batched into single `predict_many` calls.
 //! - `GET /healthz` — liveness + live model generation.
-//! - `GET /metrics` — the obs registry snapshot as JSON.
+//! - `GET /metrics` — the obs registry snapshot as JSON;
+//!   `?format=prometheus` renders text exposition instead.
+//! - `GET /v1/traces` — recent per-request stage-breakdown traces
+//!   (`?n=K&min_ms=X`). Every response carries an `x-trace-id` header
+//!   (generated, or honored from the request).
 //! - `POST /v1/model/reload` — atomic hot-swap to a new checkpoint,
 //!   canary-validated first; in-flight requests finish on the old
 //!   weights.
@@ -24,8 +28,10 @@ pub mod json;
 pub mod model;
 pub mod queue;
 pub mod server;
+pub mod trace;
 
 pub use client::{Client, ClientResponse};
 pub use model::{demo_model, validate_canary, LoadedModel, ModelSlot, ReloadError};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServeConfig, Server};
+pub use trace::RequestTrace;

@@ -17,7 +17,9 @@ use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
 use crate::model::{LoadedModel, ModelSlot, ReloadError};
 use crate::queue::{BoundedQueue, PushError};
+use crate::trace::RequestTrace;
 use gnntrans::{NetContext, PathEstimate};
+use obs::trace::Stage;
 use netgen::nets::{NetConfig, NetGenerator};
 use rcnet::{RcNet, Seconds};
 use std::io::BufReader;
@@ -47,6 +49,9 @@ pub struct ServeConfig {
     pub max_nets_per_request: usize,
     /// Idle read timeout on keep-alive connections.
     pub idle_timeout: Duration,
+    /// Requests slower than this emit a structured warn event with
+    /// their stage breakdown (and count into `serve.trace.slow`).
+    pub slow_request: Duration,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             max_body_bytes: 8 * 1024 * 1024,
             max_nets_per_request: 512,
             idle_timeout: Duration::from_secs(30),
+            slow_request: Duration::from_millis(250),
         }
     }
 }
@@ -80,6 +86,10 @@ struct PredictJob {
     ctxs: Vec<NetContext>,
     reply: mpsc::Sender<Result<String, JobError>>,
     deadline: Instant,
+    /// The request's trace, carried across the queue handoff so the
+    /// worker can close `queue_wait`/`batch_wait` and attribute
+    /// inference time.
+    trace: RequestTrace,
 }
 
 struct Shared {
@@ -192,6 +202,9 @@ impl Server {
             let _ = w.join();
         }
         obs::event!(obs::Level::Info, "serve.server", "drained and stopped");
+        // Flush event sinks after the drain: a JsonlSink must not lose
+        // the tail of its buffer when the process exits right after.
+        obs::flush();
     }
 }
 
@@ -241,15 +254,26 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(HttpError::Io(_)) => return,
         };
-        let started = Instant::now();
         let endpoint = format!("{} {}", request.method, request.path);
         obs::counter_labeled("serve.http.requests", Some(&endpoint)).inc();
 
+        // The trace honors a parseable `x-trace-id` header and starts
+        // at the request line; everything read so far is `accept`.
+        let trace = RequestTrace::begin(request.header("x-trace-id"), request.read_started);
+        trace.record(Stage::Accept, request.read_started.elapsed());
+        // Ambient context for everything this thread does on behalf of
+        // the request (events, nested par maps on inline endpoints).
+        let scope = obs::trace::scope(trace.ctx());
+
         let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let response = route(&request, shared);
+        let response = route(&request, shared, &trace).with_header("x-trace-id", &trace.id_hex());
         record_response(response.status);
-        obs::histogram("serve.request.seconds").observe(started.elapsed().as_secs_f64());
-        if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
+        obs::histogram("serve.request.seconds")
+            .observe_traced(request.read_started.elapsed().as_secs_f64(), Some(trace.ctx().trace_id));
+        let write_ok = response.write_to(&mut write_half, keep_alive).is_ok();
+        trace.finish(response.status, shared.cfg.slow_request);
+        drop(scope);
+        if !write_ok || !keep_alive {
             return;
         }
     }
@@ -259,11 +283,12 @@ fn record_response(status: u16) {
     obs::counter_labeled("serve.http.responses", Some(&status.to_string())).inc();
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>, trace: &RequestTrace) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => Response::json(200, obs::RunReport::capture().to_json()),
-        ("POST", "/v1/predict") => predict(request, shared),
+        ("GET", "/metrics") => metrics(request),
+        ("GET", "/v1/traces") => traces(request),
+        ("POST", "/v1/predict") => predict(request, shared, trace),
         ("POST", "/v1/model/reload") => reload(request, shared),
         ("POST", "/admin/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -272,6 +297,55 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         ("GET" | "POST", _) => Response::error(404, "unknown path"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// `GET /metrics`: the obs registry — JSON `RunReport` by default,
+/// Prometheus text exposition with `?format=prometheus`.
+fn metrics(request: &Request) -> Response {
+    match request.query_param("format") {
+        Some("prometheus") => Response::text(200, obs::prometheus::render_current()),
+        Some(other) if other != "json" => {
+            Response::error(400, &format!("unknown metrics format `{other}`"))
+        }
+        _ => Response::json(200, obs::RunReport::capture().to_json()),
+    }
+}
+
+/// `GET /v1/traces?n=K&min_ms=X`: the most recent completed predict
+/// traces, newest first.
+fn traces(request: &Request) -> Response {
+    let ring = obs::trace::ring();
+    let n = request
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .min(ring.capacity());
+    let min_ms = request
+        .query_param("min_ms")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let rows = ring.snapshot();
+    let mut body = String::with_capacity(256 * n.min(rows.len()) + 64);
+    body.push_str("{\"capacity\":");
+    body.push_str(&ring.capacity().to_string());
+    body.push_str(",\"recorded\":");
+    body.push_str(&ring.recorded().to_string());
+    body.push_str(",\"traces\":[");
+    // snapshot() is oldest-first; serve the newest n above the cutoff.
+    for (i, rec) in rows
+        .iter()
+        .rev()
+        .filter(|r| r.total_s * 1e3 >= min_ms)
+        .take(n)
+        .enumerate()
+    {
+        if i > 0 {
+            body.push(',');
+        }
+        rec.push_json(&mut body);
+    }
+    body.push_str("]}");
+    Response::json(200, body)
 }
 
 fn healthz(shared: &Arc<Shared>) -> Response {
@@ -392,20 +466,29 @@ fn parse_predict_body(
     Ok((nets, ctxs))
 }
 
-fn predict(request: &Request, shared: &Arc<Shared>) -> Response {
+fn predict(request: &Request, shared: &Arc<Shared>, trace: &RequestTrace) -> Response {
     let started = Instant::now();
+    trace.mark_pipeline();
     let body = match request.body_utf8() {
         Ok(b) => b,
         Err(_) => return Response::error(400, "body is not valid UTF-8"),
     };
     let parsed = match json::parse(body) {
         Ok(v) => v,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => {
+            trace.record(Stage::Parse, started.elapsed());
+            return Response::error(400, &e.to_string());
+        }
     };
     let (nets, ctxs) = match parse_predict_body(&parsed, &shared.cfg) {
         Ok(v) => v,
-        Err(m) => return Response::error(400, &m),
+        Err(m) => {
+            trace.record(Stage::Parse, started.elapsed());
+            return Response::error(400, &m);
+        }
     };
+    trace.record(Stage::Parse, started.elapsed());
+    trace.set_nets(nets.len());
     // Per-request deadlines may only tighten the server default.
     let deadline_ms = parsed
         .get("deadline_ms")
@@ -421,7 +504,11 @@ fn predict(request: &Request, shared: &Arc<Shared>) -> Response {
         ctxs,
         reply: tx,
         deadline,
+        trace: trace.clone(),
     };
+    // Marked before the push: a worker may pop (and close queue_wait)
+    // before try_push even returns.
+    trace.mark_enqueued();
     if let Err((why, _job)) = shared.queue.try_push(job) {
         return match why {
             PushError::Full => {
@@ -512,6 +599,10 @@ fn worker_loop(shared: &Arc<Shared>) {
 
     while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
         let _span = obs::span("serve_batch");
+        // Every popped job — live or expired — closes its queue_wait.
+        for job in &batch {
+            job.trace.mark_popped();
+        }
         // One Arc clone per batch: every job in it sees one model
         // generation, and a concurrent hot-reload cannot disturb it.
         let model = shared.slot.current();
@@ -535,10 +626,24 @@ fn worker_loop(shared: &Arc<Shared>) {
             .iter()
             .flat_map(|j| j.nets.iter().zip(j.ctxs.iter()))
             .collect();
-        match model.estimator.predict_many(pairs) {
-            Ok(all) => {
+        for job in &live {
+            job.trace.mark_inference_start();
+        }
+        // The coalesced call runs under the head job's trace context,
+        // so par lanes inside predict_many carry its id; the wall time
+        // is attributed to every co-batched job (each waited that long).
+        let coalesced = {
+            let _ctx = obs::trace::scope(live[0].trace.ctx());
+            let t0 = Instant::now();
+            let outcome = model.estimator.predict_many(pairs);
+            (outcome, t0.elapsed())
+        };
+        match coalesced {
+            (Ok(all), spent) => {
                 let mut offset = 0usize;
                 for job in &live {
+                    let _ctx = obs::trace::scope(job.trace.ctx());
+                    job.trace.record_inference(spent);
                     let per_net = &all[offset..offset + job.nets.len()];
                     offset += job.nets.len();
                     nets_served.add(job.nets.len() as u64);
@@ -547,7 +652,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     let _ = job.reply.send(Ok(body));
                 }
             }
-            Err(_) => {
+            (Err(_), _) => {
                 // Re-predict each job separately so one poisoned net
                 // cannot fail its neighbours' requests. The loop over
                 // jobs stays serial so every reply goes out the moment
@@ -556,7 +661,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // their deadlines). Each job still fans out per net on
                 // the par pool inside `predict_many`.
                 for job in &live {
+                    let _ctx = obs::trace::scope(job.trace.ctx());
+                    let t0 = Instant::now();
                     let outcome = predict_job(&model, &job.nets, &job.ctxs);
+                    job.trace.record_inference(t0.elapsed());
                     if outcome.is_ok() {
                         nets_served.add(job.nets.len() as u64);
                     }

@@ -318,6 +318,147 @@ fn admin_shutdown_flags_drain_and_server_stops_cleanly() {
 }
 
 #[test]
+fn trace_roundtrip_stage_sum_matches_wall_time() {
+    let server = test_server(2);
+    let mut client = Client::new(server.local_addr());
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let trace_id = r.header("x-trace-id").expect("x-trace-id echoed").to_string();
+    assert_eq!(trace_id.len(), 32, "id: {trace_id}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let r = client.request("GET", "/v1/traces?n=64", None).unwrap();
+    assert_eq!(r.status, 200);
+    let v = json::parse(&r.body).unwrap();
+    assert!(v.get("capacity").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    let Some(Json::Arr(traces)) = v.get("traces").cloned() else {
+        panic!("missing traces array in {}", r.body);
+    };
+    let trace = traces
+        .iter()
+        .find(|t| t.get("trace_id").and_then(Json::as_str) == Some(&trace_id))
+        .unwrap_or_else(|| panic!("trace {trace_id} not in /v1/traces: {}", r.body));
+
+    assert_eq!(trace.get("status").and_then(Json::as_u64), Some(200));
+    assert_eq!(trace.get("nets").and_then(Json::as_u64), Some(1));
+    let total_ms = trace.get("total_ms").and_then(Json::as_f64).expect("total_ms");
+    let stages = trace.get("stages").expect("stages object");
+    let mut sum_ms = 0.0;
+    for stage in ["accept", "parse", "queue_wait", "batch_wait", "inference", "respond"] {
+        let v = stages
+            .get(stage)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("stage `{stage}` missing in {trace:?}"));
+        assert!(v >= 0.0, "negative {stage}: {v}");
+        sum_ms += v;
+    }
+    // The acceptance bar is 5%; respond is computed as the remainder,
+    // so the reconstruction should be near-exact (JSON round-off only).
+    let tolerance = (total_ms * 0.05).max(0.5);
+    assert!(
+        (sum_ms - total_ms).abs() <= tolerance,
+        "stage sum {sum_ms} ms vs wall {total_ms} ms"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn client_supplied_trace_id_is_honored_end_to_end() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    let supplied = "c0ffee00c0ffee00c0ffee00c0ffee00";
+    let r = client
+        .request_with_headers(
+            "POST",
+            "/v1/predict",
+            Some(&spef_body()),
+            &[("x-trace-id", supplied)],
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-trace-id"), Some(supplied));
+    let r = client
+        .request("GET", &format!("/v1/traces?n={}", 64), None)
+        .unwrap();
+    assert!(r.body.contains(supplied), "honored id not in ring: {}", r.body);
+
+    // Unparseable ids are replaced, not propagated.
+    let r = client
+        .request_with_headers(
+            "POST",
+            "/v1/predict",
+            Some(&spef_body()),
+            &[("x-trace-id", "not hex at all!")],
+        )
+        .unwrap();
+    let echoed = r.header("x-trace-id").expect("echoed");
+    assert_ne!(echoed, "not hex at all!");
+    assert_eq!(echoed.len(), 32);
+
+    // Non-predict endpoints echo an id too.
+    let r = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(r.header("x-trace-id").map(str::len), Some(32));
+    server.shutdown();
+}
+
+#[test]
+fn traces_endpoint_filters_and_limits() {
+    let server = test_server(2);
+    let mut client = Client::new(server.local_addr());
+    for _ in 0..5 {
+        let r = client
+            .request("POST", "/v1/predict", Some(&spef_body()))
+            .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = client.request("GET", "/v1/traces?n=2", None).unwrap();
+    let v = json::parse(&r.body).unwrap();
+    let Some(Json::Arr(traces)) = v.get("traces").cloned() else {
+        panic!("missing traces in {}", r.body);
+    };
+    assert_eq!(traces.len(), 2, "n=2 must cap the response");
+    // An absurd min_ms filters everything out.
+    let r = client
+        .request("GET", "/v1/traces?min_ms=100000", None)
+        .unwrap();
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("traces"), Some(&Json::Arr(vec![])));
+    server.shutdown();
+}
+
+#[test]
+fn prometheus_metrics_render_and_validate() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    let r = client
+        .request("POST", "/v1/predict", Some(&spef_body()))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let r = client
+        .request("GET", "/metrics?format=prometheus", None)
+        .unwrap();
+    assert_eq!(r.status, 200);
+    obs::prometheus::validate(&r.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n---\n{}", r.body));
+    assert!(r.body.contains("# TYPE serve_request_seconds histogram"), "{}", r.body);
+    assert!(
+        r.body.contains("serve_stage_seconds_bucket{stage=\"inference\""),
+        "{}",
+        r.body
+    );
+    assert!(r.body.contains("serve_http_requests_total{endpoint="), "{}", r.body);
+    // JSON stays the default.
+    let r = client.request("GET", "/metrics", None).unwrap();
+    assert!(r.body.starts_with('{'), "default /metrics must stay JSON");
+    // Unknown formats are a client error.
+    let r = client.request("GET", "/metrics?format=xml", None).unwrap();
+    assert_eq!(r.status, 400);
+    server.shutdown();
+}
+
+#[test]
 fn keep_alive_serves_many_requests_on_one_connection() {
     let server = test_server(2);
     let mut client = Client::new(server.local_addr());

@@ -30,6 +30,14 @@ cargo run -q -p bench --release --bin rcsim -- --smoke \
     --out target/BENCH_rcsim_smoke.json
 
 # Loopback smoke test of the inference server: ephemeral port, one SPEF
-# predict (200 + finite slew/delay), /healthz + /metrics, a hot-reload
-# under concurrent load, and a clean drain. Exit code is the verdict.
+# predict (200 + finite slew/delay), /healthz + /metrics, the tracing
+# round-trip (predict's x-trace-id findable in /v1/traces with all six
+# stages) + validated /metrics?format=prometheus exposition, a
+# hot-reload under concurrent load, and a clean drain. Exit code is the
+# verdict.
 ./target/release/serve --smoke
+
+# Trace-analyzer smoke: in-process server under traffic, live /v1/traces
+# fetch, and the stage-attribution report; fails if more than 5% of
+# request wall time is unattributed to a stage.
+./target/release/obs-trace --smoke
