@@ -1,0 +1,380 @@
+//! Incremental ECO engine benchmark: resident sessions vs cold re-times.
+//!
+//! For each design size, loads a netgen design into an
+//! [`eco::DesignSession`], measures the median *cold* full re-time
+//! (fresh session, fresh prediction cache), then streams single-edit
+//! ECO batches through a warm session and measures the median
+//! *incremental* apply. Writes `BENCH_eco.json` with edits/sec, cache
+//! hit rate and the incremental-vs-full speedup per size.
+//!
+//! ```text
+//! cargo run -p bench --release --bin eco [-- --edits N --seed S \
+//!     --out PATH --smoke]
+//! ```
+//!
+//! Correctness gate (both modes): after the whole edit stream, a cold
+//! full re-time of the same final design state through a fresh cache
+//! must agree with the incrementally-maintained solution to ≤1e-9 s.
+//! Performance gate (full mode): the medium design's speedup must be
+//! ≥5x — the acceptance bar for an optimizer-in-the-loop workload.
+
+use eco::design::from_netgen;
+use eco::{DesignSession, EcoEdit, PredictionCache};
+use rcnet::Seconds;
+use sta::netlist::Netlist;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    edits: usize,
+    seed: u64,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        edits: 64,
+        seed: 2023,
+        out: "BENCH_eco.json".into(),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1);
+        match argv[i].as_str() {
+            "--edits" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.edits = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = value.and_then(|v| v.parse().ok()) {
+                    args.seed = v;
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = value {
+                    args.out = v.clone();
+                    i += 1;
+                }
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!(
+                    "eco: unknown flag `{other}`\
+                     \n  --edits N   single-edit ECO batches per size (default 64)\
+                     \n  --seed S    design + edit-stream seed\
+                     \n  --out PATH  result file (default BENCH_eco.json)\
+                     \n  --smoke     small sizes + agreement gate only, for CI"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args.edits = args.edits.max(4);
+    args
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splitmix64 so the bench owns its randomness.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One random, valid single-net edit against the current design state.
+/// Mirrors the optimizer move set: driver resize, load change, buffer
+/// insertion, wire RC tweaks.
+fn random_edit(nl: &Netlist, rng: &mut u64) -> EcoEdit {
+    const CELLS: [&str; 5] = ["BUF_X1", "BUF_X2", "BUF_X4", "INV_X1", "INV_X2"];
+    loop {
+        let i = (mix(rng) % nl.nets().len() as u64) as usize;
+        let ni = &nl.nets()[i];
+        let net = ni.rc.name().to_string();
+        match mix(rng) % 8 {
+            0..=1 => {
+                if ni.driver.is_none() {
+                    continue;
+                }
+                let cell = CELLS[(mix(rng) % CELLS.len() as u64) as usize];
+                return EcoEdit::ResizeDriver { net, cell: cell.into() };
+            }
+            2..=4 => {
+                let sinks = ni.rc.sinks();
+                let sid = sinks[(mix(rng) % sinks.len() as u64) as usize];
+                return EcoEdit::SetSinkLoad {
+                    net,
+                    sink: ni.rc.node(sid).name.clone(),
+                    ceff_ff: 0.5 + (mix(rng) % 50) as f64 / 10.0,
+                };
+            }
+            5 => {
+                let sinks = ni.rc.sinks();
+                let sid = sinks[(mix(rng) % sinks.len() as u64) as usize];
+                return EcoEdit::InsertBuffer {
+                    net,
+                    sink: ni.rc.node(sid).name.clone(),
+                    cell: "BUF_X2".into(),
+                };
+            }
+            6 => {
+                let edges: Vec<_> = ni.rc.iter_edges().collect();
+                let (_, e) = edges[(mix(rng) % edges.len() as u64) as usize];
+                return EcoEdit::SetResistance {
+                    a: ni.rc.node(e.a).name.clone(),
+                    b: ni.rc.node(e.b).name.clone(),
+                    net,
+                    ohms: 1.0 + (mix(rng) % 200) as f64,
+                };
+            }
+            _ => {
+                let nodes: Vec<_> = ni.rc.iter_nodes().collect();
+                let (_, node) = nodes[(mix(rng) % nodes.len() as u64) as usize];
+                return EcoEdit::SetCap {
+                    net,
+                    node: node.name.clone(),
+                    ff: 0.1 + (mix(rng) % 80) as f64 / 10.0,
+                };
+            }
+        }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[sorted.len() / 2]
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Largest |a - b| over every sink's arrival and slew, seconds.
+fn max_abs_diff(a: &DesignSession, b: &DesignSession) -> f64 {
+    let (ta, tb) = (a.all_timing(), b.all_timing());
+    assert_eq!(ta.len(), tb.len(), "net-count mismatch between sessions");
+    let mut worst = 0.0_f64;
+    for (x, y) in ta.iter().zip(tb) {
+        assert_eq!(x.at_sinks.len(), y.at_sinks.len());
+        for (&(at_x, sl_x), &(at_y, sl_y)) in x.at_sinks.iter().zip(&y.at_sinks) {
+            worst = worst
+                .max((at_x.value() - at_y.value()).abs())
+                .max((sl_x.value() - sl_y.value()).abs());
+        }
+    }
+    worst
+}
+
+struct Row {
+    label: &'static str,
+    design: &'static str,
+    scale: f64,
+    nets: usize,
+    gates: usize,
+    cold_full_s: f64,
+    incr_median_s: f64,
+    incr_p95_s: f64,
+    edits_per_s: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+    dirty_nets_mean: f64,
+    agreement_s: f64,
+}
+
+fn bench_size(
+    label: &'static str,
+    design: &'static str,
+    scale: f64,
+    est: &gnntrans::WireTimingEstimator,
+    args: &Args,
+    cold_reps: usize,
+) -> Row {
+    let slew = Seconds::from_ps(20.0);
+    let nl = from_netgen(design, scale, args.seed).expect("build design");
+
+    // Cold baseline: fresh session, fresh cache, full re-time.
+    let mut cold_times: Vec<f64> = (0..cold_reps)
+        .map(|_| {
+            let cache = PredictionCache::new(8, 32 << 20);
+            let mut s = DesignSession::new("cold", nl.clone(), slew);
+            let t0 = Instant::now();
+            s.full_retime(est, 1, &cache).expect("cold full retime");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    cold_times.sort_by(f64::total_cmp);
+    let cold_full_s = median(&cold_times);
+
+    // Warm session: one full re-time seeds the prediction cache, then
+    // the edit stream exercises the incremental path.
+    let cache = PredictionCache::new(8, 32 << 20);
+    let mut warm = DesignSession::new("warm", nl.clone(), slew);
+    warm.full_retime(est, 1, &cache).expect("warm full retime");
+
+    let mut rng = args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut edits: Vec<EcoEdit> = Vec::with_capacity(args.edits);
+    let mut incr_times: Vec<f64> = Vec::with_capacity(args.edits);
+    let mut dirty_total = 0usize;
+    let stream_t0 = Instant::now();
+    for _ in 0..args.edits {
+        let edit = random_edit(warm.netlist(), &mut rng);
+        let t0 = Instant::now();
+        let report = warm
+            .apply(std::slice::from_ref(&edit), est, 1, &cache)
+            .expect("apply edit");
+        incr_times.push(t0.elapsed().as_secs_f64());
+        assert!(!report.full_retime, "single edit must stay incremental");
+        dirty_total += report.dirty_nets.len();
+        edits.push(edit);
+    }
+    let stream_s = stream_t0.elapsed().as_secs_f64();
+    incr_times.sort_by(f64::total_cmp);
+    let stats = cache.stats();
+
+    // Oracle: replay the exact edit stream on a fresh session (design
+    // mutations only matter), then cold full re-time through a fresh
+    // cache — the incrementally-maintained solution must agree.
+    let fresh = PredictionCache::new(8, 32 << 20);
+    let mut oracle = DesignSession::new("oracle", nl, slew);
+    oracle.full_retime(est, 1, &fresh).expect("oracle warm");
+    for edit in &edits {
+        oracle
+            .apply(std::slice::from_ref(edit), est, 1, &fresh)
+            .expect("oracle replay");
+    }
+    let fresh2 = PredictionCache::new(8, 32 << 20);
+    oracle.full_retime(est, 1, &fresh2).expect("oracle cold");
+    let agreement_s = max_abs_diff(&warm, &oracle);
+
+    let summary = warm.timing_summary();
+    let incr_median_s = median(&incr_times);
+    let row = Row {
+        label,
+        design,
+        scale,
+        nets: summary.nets,
+        gates: summary.gates,
+        cold_full_s,
+        incr_median_s,
+        incr_p95_s: percentile(&incr_times, 0.95),
+        edits_per_s: args.edits as f64 / stream_s.max(1e-12),
+        speedup: cold_full_s / incr_median_s.max(1e-12),
+        cache_hit_rate: stats.hit_rate(),
+        dirty_nets_mean: dirty_total as f64 / args.edits as f64,
+        agreement_s,
+    };
+    eprintln!(
+        "eco: {label} ({design} x{scale}, {} nets): cold {:.1} ms, incr median {:.2} ms, \
+         {:.0} edits/s, {:.1}x speedup, hit rate {:.1}%, agree {:.2e} s",
+        row.nets,
+        row.cold_full_s * 1e3,
+        row.incr_median_s * 1e3,
+        row.edits_per_s,
+        row.speedup,
+        row.cache_hit_rate * 100.0,
+        row.agreement_s,
+    );
+    row
+}
+
+fn main() {
+    let args = parse_args();
+    // Same quick demo model the serve smoke path trains: the bench
+    // measures engine overhead and cone sizes, not model quality.
+    let est = serve::demo_model(7, 16, 8);
+
+    let sizes: &[(&str, &str, f64)] = if args.smoke {
+        &[("S", "PCI_BRIDGE", 0.02), ("M", "DMA", 0.01)]
+    } else {
+        &[("S", "PCI_BRIDGE", 0.05), ("M", "DMA", 0.05), ("L", "B19", 0.05)]
+    };
+    let cold_reps = if args.smoke { 2 } else { 3 };
+
+    let rows: Vec<Row> = sizes
+        .iter()
+        .map(|&(label, design, scale)| bench_size(label, design, scale, &est, &args, cold_reps))
+        .collect();
+
+    let cores = host_cores();
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"schema\":\"bench.eco.v1\"");
+    let _ = write!(out, ",\"host_cores\":{cores}");
+    let _ = write!(out, ",\"edits_per_size\":{}", args.edits);
+    let _ = write!(out, ",\"cold_reps\":{cold_reps}");
+    let _ = write!(out, ",\"smoke\":{}", args.smoke);
+    out.push_str(",\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"design\":\"{}\",\"scale\":",
+            row.label, row.design
+        );
+        obs::json::push_f64(&mut out, row.scale);
+        let _ = write!(out, ",\"nets\":{},\"gates\":{}", row.nets, row.gates);
+        out.push_str(",\"cold_full_s\":");
+        obs::json::push_f64(&mut out, row.cold_full_s);
+        out.push_str(",\"incr_median_s\":");
+        obs::json::push_f64(&mut out, row.incr_median_s);
+        out.push_str(",\"incr_p95_s\":");
+        obs::json::push_f64(&mut out, row.incr_p95_s);
+        out.push_str(",\"edits_per_s\":");
+        obs::json::push_f64(&mut out, row.edits_per_s);
+        out.push_str(",\"speedup\":");
+        obs::json::push_f64(&mut out, row.speedup);
+        out.push_str(",\"cache_hit_rate\":");
+        obs::json::push_f64(&mut out, row.cache_hit_rate);
+        out.push_str(",\"dirty_nets_mean\":");
+        obs::json::push_f64(&mut out, row.dirty_nets_mean);
+        out.push_str(",\"agreement_max_abs_s\":");
+        obs::json::push_f64(&mut out, row.agreement_s);
+        out.push('}');
+    }
+    out.push_str("]}");
+
+    std::fs::write(&args.out, format!("{out}\n")).expect("write report");
+    eprintln!("eco: wrote {}", args.out);
+
+    // Gate on correctness everywhere: the incremental solution must
+    // match a cold full re-time of the same final design exactly.
+    for row in &rows {
+        assert!(
+            row.agreement_s <= 1e-9,
+            "incremental/full disagreement {:.3e} s at {} (tolerance 1e-9 s)",
+            row.agreement_s,
+            row.label
+        );
+    }
+    // Gate on speed in full mode: a single-edit re-time on the medium
+    // design must beat the cold full re-time by ≥5x (the acceptance
+    // bar for an optimizer-in-the-loop workload).
+    if !args.smoke {
+        let medium = rows.iter().find(|r| r.label == "M").expect("medium row");
+        assert!(
+            medium.speedup >= 5.0,
+            "medium incremental speedup {:.2}x below the 5x acceptance bar",
+            medium.speedup
+        );
+    }
+}

@@ -99,7 +99,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
 fn trace_from_json(t: &Json) -> Option<TraceRecord> {
     let trace_id = obs::TraceId::parse(t.get("trace_id")?.as_str()?)?;
     let stages_obj = t.get("stages")?;
-    let mut stages = [0.0f64; 6];
+    let mut stages = [0.0f64; obs::trace::STAGE_COUNT];
     for stage in Stage::ALL {
         stages[stage.index()] = stages_obj.get(stage.name())?.as_f64()? / 1e3;
     }

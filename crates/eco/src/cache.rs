@@ -1,0 +1,450 @@
+//! Sharded, byte-budgeted LRU cache of per-net timing predictions.
+//!
+//! Keys are content-addressed: the canonical net hash
+//! ([`rcnet::hash::content_hash`]) folded with the driver/load context
+//! hash and the model generation. Content addressing means an ECO that
+//! is later reverted, or two sessions holding the same design, hit the
+//! same entries — an unchanged net costs a shard probe, not a model
+//! inference. Including the model generation in the key means entries
+//! from a previous model can never match after a hot-reload; the serve
+//! layer additionally calls [`PredictionCache::invalidate_all`] on
+//! reload so dead generations do not squat the byte budget.
+//!
+//! Values remember their sink names. A probe whose sink names disagree
+//! with the caller's net is treated as a miss (and the entry dropped):
+//! a 64-bit collision must never misalign timing onto the wrong pins.
+
+use gnntrans::PathEstimate;
+use rcnet::{Fnv1a, Seconds};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached per-net prediction: `(sink name, slew, delay)` per wire
+/// path, in `rc.paths()` (= sink) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPaths {
+    /// Per-sink predictions: name, slew seconds, delay seconds.
+    pub sinks: Vec<(String, f64, f64)>,
+}
+
+impl CachedPaths {
+    /// Builds a cache value from a net's sink names and its estimates.
+    pub fn new(sink_names: &[String], estimates: &[PathEstimate]) -> Self {
+        CachedPaths {
+            sinks: sink_names
+                .iter()
+                .zip(estimates)
+                .map(|(n, e)| (n.clone(), e.slew.value(), e.delay.value()))
+                .collect(),
+        }
+    }
+
+    /// True when the entry's sink names match `sink_names` exactly.
+    pub fn matches(&self, sink_names: &[String]) -> bool {
+        self.sinks.len() == sink_names.len()
+            && self.sinks.iter().zip(sink_names).all(|((n, _, _), m)| n == m)
+    }
+
+    /// The per-path `(slew, delay)` pairs in sink order.
+    pub fn timings(&self) -> impl Iterator<Item = (Seconds, Seconds)> + '_ {
+        self.sinks.iter().map(|&(_, s, d)| (Seconds(s), Seconds(d)))
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .sinks
+                .iter()
+                .map(|(n, _, _)| n.len() + std::mem::size_of::<(String, f64, f64)>())
+                .sum::<usize>()
+    }
+}
+
+/// Folds the three key components into the cache's 64-bit key space.
+pub fn cache_key(net_hash: u64, ctx_hash: u64, model_generation: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"eco.key.v1")
+        .write_u64(net_hash)
+        .write_u64(ctx_hash)
+        .write_u64(model_generation);
+    h.finish()
+}
+
+/// A point-in-time view of cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Probes that returned a usable entry.
+    pub hits: u64,
+    /// Probes that found nothing (or a collision-mismatched entry).
+    pub misses: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Entries dropped to stay inside the byte budget.
+    pub evictions: u64,
+    /// Wholesale invalidations (model hot-reloads).
+    pub invalidations: u64,
+    /// Approximate resident bytes.
+    pub bytes: u64,
+    /// Resident entries.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all probes so far (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU bookkeeping: entries in a slab threaded onto an intrusive
+/// most-recent-first list.
+struct Slot {
+    key: u64,
+    value: Arc<CachedPaths>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Shard {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.slots[i].prev, self.slots[i].next);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.slots[p].next = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.slots[n].prev = p;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Removes slot `i` entirely; returns its byte size.
+    fn remove(&mut self, i: usize) -> usize {
+        self.unlink(i);
+        let key = self.slots[i].key;
+        self.map.remove(&key);
+        let b = self.slots[i].bytes;
+        self.bytes -= b;
+        self.slots[i].value = Arc::new(CachedPaths { sinks: Vec::new() });
+        self.free.push(i);
+        b
+    }
+
+    /// Evicts from the tail until inside budget; returns evictions made.
+    fn enforce_budget(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > self.budget && self.tail != NIL {
+            self.remove(self.tail);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded LRU prediction cache. All methods are `&self`; shard
+/// mutexes make it safe to share behind an `Arc` across sessions and
+/// worker threads.
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    hits_ctr: obs::Counter,
+    misses_ctr: obs::Counter,
+    evictions_ctr: obs::Counter,
+    invalidations_ctr: obs::Counter,
+    bytes_gauge: obs::Gauge,
+    entries_gauge: obs::Gauge,
+}
+
+impl PredictionCache {
+    /// A cache with `shards` shards splitting `byte_budget` evenly.
+    /// Shard count is clamped to at least 1 and rounded to a power of
+    /// two so key→shard mapping is a mask.
+    pub fn new(shards: usize, byte_budget: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = (byte_budget / shards).max(1024);
+        PredictionCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            hits_ctr: obs::counter("eco.cache.hits"),
+            misses_ctr: obs::counter("eco.cache.misses"),
+            evictions_ctr: obs::counter("eco.cache.evictions"),
+            invalidations_ctr: obs::counter("eco.cache.invalidations"),
+            bytes_gauge: obs::gauge("eco.cache.bytes"),
+            entries_gauge: obs::gauge("eco.cache.entries"),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // High bits: the FNV fold mixes well there, and the low bits
+        // already picked the HashMap bucket.
+        let i = (key >> 48) as usize & (self.shards.len() - 1);
+        &self.shards[i]
+    }
+
+    /// Probes for `key`. `sink_names` guards against 64-bit collisions:
+    /// an entry whose sink names disagree is dropped and reported as a
+    /// miss.
+    pub fn get(&self, key: u64, sink_names: &[String]) -> Option<Arc<CachedPaths>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let Some(&i) = shard.map.get(&key) {
+            if shard.slots[i].value.matches(sink_names) {
+                shard.touch(i);
+                let v = Arc::clone(&shard.slots[i].value);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits_ctr.inc();
+                return Some(v);
+            }
+            shard.remove(i);
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_ctr.inc();
+        None
+    }
+
+    /// Inserts (or replaces) the entry for `key`, then enforces the
+    /// shard's byte budget.
+    pub fn insert(&self, key: u64, value: Arc<CachedPaths>) {
+        let bytes = value.approx_bytes();
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let Some(&i) = shard.map.get(&key) {
+            shard.remove(i);
+        }
+        let slot = Slot {
+            key,
+            value,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = if let Some(i) = shard.free.pop() {
+            shard.slots[i] = slot;
+            i
+        } else {
+            shard.slots.push(slot);
+            shard.slots.len() - 1
+        };
+        shard.map.insert(key, i);
+        shard.bytes += bytes;
+        shard.push_front(i);
+        let evicted = shard.enforce_budget();
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions_ctr.add(evicted);
+        }
+        self.publish_gauges();
+    }
+
+    /// Drops every entry (model hot-reload). Generation-keyed entries
+    /// could never hit again anyway; this returns their bytes at once.
+    pub fn invalidate_all(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            let budget = s.budget;
+            *s = Shard::new(budget);
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.invalidations_ctr.inc();
+        self.publish_gauges();
+    }
+
+    fn publish_gauges(&self) {
+        let (mut bytes, mut entries) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            bytes += s.bytes as u64;
+            entries += s.map.len() as u64;
+        }
+        self.bytes_gauge.set(bytes as f64);
+        self.entries_gauge.set(entries as f64);
+    }
+
+    /// A consistent-enough snapshot of the counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let (mut bytes, mut entries) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            bytes += s.bytes as u64;
+            entries += s.map.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for PredictionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(names: &[&str]) -> Arc<CachedPaths> {
+        Arc::new(CachedPaths {
+            sinks: names.iter().map(|n| (n.to_string(), 1e-12, 2e-12)).collect(),
+        })
+    }
+
+    fn names(ns: &[&str]) -> Vec<String> {
+        ns.iter().map(|n| n.to_string()).collect()
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = PredictionCache::new(4, 1 << 20);
+        let key = cache_key(1, 2, 3);
+        assert!(c.get(key, &names(&["a"])).is_none());
+        c.insert(key, entry(&["a"]));
+        let got = c.get(key, &names(&["a"])).expect("hit");
+        assert_eq!(got.sinks[0].0, "a");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn generation_partitions_the_key_space() {
+        let c = PredictionCache::new(1, 1 << 20);
+        c.insert(cache_key(7, 8, 1), entry(&["a"]));
+        assert!(c.get(cache_key(7, 8, 2), &names(&["a"])).is_none());
+        assert!(c.get(cache_key(7, 8, 1), &names(&["a"])).is_some());
+    }
+
+    #[test]
+    fn sink_name_mismatch_is_a_miss_and_drops_the_entry() {
+        let c = PredictionCache::new(1, 1 << 20);
+        let key = cache_key(1, 1, 1);
+        c.insert(key, entry(&["a", "b"]));
+        assert!(c.get(key, &names(&["a", "c"])).is_none());
+        // The poisoned entry is gone entirely.
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // Budget fits only a couple of entries per shard.
+        let c = PredictionCache::new(1, 1024);
+        let e = entry(&["sink_with_a_longish_name"]);
+        let per = e.approx_bytes();
+        let fits = 1024 / per;
+        for i in 0..(fits as u64 + 3) {
+            c.insert(cache_key(i, 0, 1), Arc::clone(&e));
+        }
+        let s = c.stats();
+        assert!(s.evictions >= 3, "expected evictions, got {s:?}");
+        assert!(s.bytes <= 1024);
+        // Oldest key is gone, newest survives.
+        assert!(c.get(cache_key(0, 0, 1), &names(&["sink_with_a_longish_name"])).is_none());
+        assert!(c
+            .get(cache_key(fits as u64 + 2, 0, 1), &names(&["sink_with_a_longish_name"]))
+            .is_some());
+    }
+
+    #[test]
+    fn invalidate_all_clears_every_shard() {
+        let c = PredictionCache::new(8, 1 << 20);
+        for i in 0..64u64 {
+            c.insert(cache_key(i, i, 1), entry(&["a"]));
+        }
+        assert!(c.stats().entries > 0);
+        c.invalidate_all();
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.invalidations, 1);
+        assert!(c.get(cache_key(5, 5, 1), &names(&["a"])).is_none());
+    }
+
+    #[test]
+    fn lru_touch_on_get_protects_hot_entries() {
+        let c = PredictionCache::new(1, 1024);
+        let e = entry(&["sink_with_a_longish_name"]);
+        let per = e.approx_bytes();
+        let fits = (1024 / per) as u64;
+        for i in 0..fits {
+            c.insert(cache_key(i, 0, 1), Arc::clone(&e));
+        }
+        // Touch the oldest, then overflow by one: the *second*-oldest dies.
+        let nm = names(&["sink_with_a_longish_name"]);
+        assert!(c.get(cache_key(0, 0, 1), &nm).is_some());
+        c.insert(cache_key(fits, 0, 1), Arc::clone(&e));
+        assert!(c.get(cache_key(0, 0, 1), &nm).is_some());
+        assert!(c.get(cache_key(1, 0, 1), &nm).is_none());
+    }
+}

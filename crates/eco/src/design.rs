@@ -1,0 +1,278 @@
+//! Turning a design description into a timed gate netlist.
+//!
+//! Two front doors, mirroring `/v1/predict`'s input modes:
+//!
+//! * **netgen spec** — a paper-roster design name plus scale/seed. Nets
+//!   come from [`netgen::generate_design`]; gates are stitched over them
+//!   deterministically (seeded splitmix64): early nets become primary
+//!   inputs, every later net is driven by a gate whose inputs are drawn
+//!   from still-open fanout pins of earlier nets. The result is a DAG
+//!   with realistic fanout for the incremental engine to chew on.
+//! * **multi-net SPEF** — instances are recovered from pin names
+//!   (`inst:pin`): the net whose source is `u2:Z` is driven by the same
+//!   instance that loads `u2:A` on another net. Undriven nets become
+//!   primary inputs; cells are assigned by input count.
+
+use crate::EcoError;
+use rcnet::RcNet;
+use sta::cells::{Cell, CellLibrary};
+use sta::netlist::{NetId, Netlist};
+use std::collections::HashMap;
+
+/// Deterministic splitmix64 stream for gate stitching.
+pub(crate) fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn one_input_cell(lib: &CellLibrary, r: u64) -> Cell {
+    const NAMES: [&str; 5] = ["BUF_X1", "BUF_X2", "BUF_X4", "INV_X1", "INV_X2"];
+    lib.cell(NAMES[(r % NAMES.len() as u64) as usize])
+        .expect("builtin cell")
+        .clone()
+}
+
+fn two_input_cell(lib: &CellLibrary, r: u64) -> Cell {
+    const NAMES: [&str; 4] = ["NAND2_X1", "NAND2_X2", "NOR2_X1", "NOR2_X2"];
+    lib.cell(NAMES[(r % NAMES.len() as u64) as usize])
+        .expect("builtin cell")
+        .clone()
+}
+
+/// Stitches `nets` into a gate netlist. Roughly one net in eight is a
+/// primary input; each remaining net is driven by a 1- or 2-input gate
+/// wired to open fanout pins of already-placed nets.
+pub fn stitch_netlist(nets: Vec<RcNet>, seed: u64) -> Result<Netlist, EcoError> {
+    if nets.is_empty() {
+        return Err(EcoError::BadDesign("design has no nets".into()));
+    }
+    let lib = CellLibrary::builtin();
+    let mut rng = seed ^ 0x5eed_c0de_1234_abcd;
+    let mut nl = Netlist::new();
+    let mut open: Vec<(NetId, usize)> = Vec::new();
+    let n_pi = (nets.len() / 8).max(1);
+    for (i, net) in nets.into_iter().enumerate() {
+        let sink_count = net.sinks().len();
+        if i < n_pi || open.is_empty() {
+            let id = nl.add_primary_input(net);
+            open.extend((0..sink_count).map(|p| (id, p)));
+            continue;
+        }
+        let want = if open.len() >= 2 && mix(&mut rng).is_multiple_of(3) { 2 } else { 1 };
+        let mut pins = Vec::with_capacity(want);
+        for _ in 0..want {
+            let pick = (mix(&mut rng) % open.len() as u64) as usize;
+            pins.push(open.swap_remove(pick));
+        }
+        let cell = if pins.len() == 2 {
+            two_input_cell(&lib, mix(&mut rng))
+        } else {
+            one_input_cell(&lib, mix(&mut rng))
+        };
+        let (_, out) = nl.add_gate(cell, &pins, net)?;
+        open.extend((0..sink_count).map(|p| (out, p)));
+    }
+    Ok(nl)
+}
+
+/// Builds a netlist from a paper-roster design name (case-insensitive),
+/// scaled to `scale` of its paper net count, seeded by `seed`.
+pub fn from_netgen(name: &str, scale: f64, seed: u64) -> Result<Netlist, EcoError> {
+    if scale <= 0.0 || !scale.is_finite() {
+        return Err(EcoError::BadDesign(format!("bad scale {scale}")));
+    }
+    let spec = netgen::paper_roster()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| EcoError::BadDesign(format!("unknown design `{name}`")))?;
+    let cfg = netgen::NetConfig::default();
+    let design = netgen::generate_design(&spec, scale, seed, cfg);
+    stitch_netlist(design.nets, seed)
+}
+
+/// The instance prefix of a pin name (`u2:A` → `u2`), if any.
+fn instance_of(pin: &str) -> Option<&str> {
+    pin.rsplit_once(':').map(|(inst, _)| inst)
+}
+
+/// Builds a netlist from a multi-net SPEF document: instances stitched
+/// by pin-name prefix, cells assigned by input count (1 → `BUF_X2`,
+/// otherwise `NAND2_X1`), undriven nets as primary inputs.
+pub fn from_spef(text: &str) -> Result<Netlist, EcoError> {
+    let doc = rcnet::spef::parse(text).map_err(|e| EcoError::BadDesign(e.to_string()))?;
+    if doc.nets.is_empty() {
+        return Err(EcoError::BadDesign("SPEF has no nets".into()));
+    }
+    let lib = CellLibrary::builtin();
+    let nets = doc.nets;
+
+    // Which instance drives each net, and which nets each instance loads.
+    let mut driver_inst: Vec<Option<String>> = Vec::with_capacity(nets.len());
+    let mut inst_output: HashMap<String, usize> = HashMap::new();
+    for (i, net) in nets.iter().enumerate() {
+        let src = &net.node(net.source()).name;
+        let inst = instance_of(src).map(str::to_string);
+        if let Some(ref inst) = inst {
+            if inst_output.insert(inst.clone(), i).is_some() {
+                return Err(EcoError::BadDesign(format!(
+                    "instance `{inst}` drives more than one net"
+                )));
+            }
+        }
+        driver_inst.push(inst);
+    }
+    // inst -> [(input net, sink pos)]
+    let mut inst_inputs: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+    for (i, net) in nets.iter().enumerate() {
+        for (pos, &sid) in net.sinks().iter().enumerate() {
+            if let Some(inst) = instance_of(&net.node(sid).name) {
+                if inst_output.contains_key(inst) {
+                    inst_inputs.entry(inst.to_string()).or_default().push((i, pos));
+                }
+            }
+        }
+    }
+
+    // Kahn over nets: a net is ready when its driver's input nets are
+    // all placed; driverless (or input-less-driver) nets are PIs.
+    let mut placed: Vec<Option<NetId>> = vec![None; nets.len()];
+    let mut nl = Netlist::new();
+    let mut nets: Vec<Option<RcNet>> = nets.into_iter().map(Some).collect();
+    let mut progress = true;
+    let mut remaining = nets.len();
+    while remaining > 0 && progress {
+        progress = false;
+        for i in 0..nets.len() {
+            if placed[i].is_some() {
+                continue;
+            }
+            let feeds: Option<&Vec<(usize, usize)>> = driver_inst[i]
+                .as_ref()
+                .and_then(|inst| inst_inputs.get(inst.as_str()));
+            let id = match feeds {
+                None => {
+                    // No driving instance, or an instance with no known
+                    // input pins (e.g. a register output): primary input.
+                    nl.add_primary_input(nets[i].take().expect("unplaced net present"))
+                }
+                Some(pins) => {
+                    if !pins.iter().all(|&(n, _)| placed[n].is_some()) {
+                        continue;
+                    }
+                    let wired: Vec<(NetId, usize)> = pins
+                        .iter()
+                        .map(|&(n, pos)| (placed[n].expect("checked placed"), pos))
+                        .collect();
+                    let cell = if wired.len() == 1 {
+                        lib.cell("BUF_X2").expect("builtin cell").clone()
+                    } else {
+                        lib.cell("NAND2_X1").expect("builtin cell").clone()
+                    };
+                    let (_, out) =
+                        nl.add_gate(cell, &wired, nets[i].take().expect("unplaced net present"))?;
+                    out
+                }
+            };
+            placed[i] = Some(id);
+            remaining -= 1;
+            progress = true;
+        }
+    }
+    if remaining > 0 {
+        return Err(EcoError::BadDesign(
+            "SPEF instance graph has a combinational cycle".into(),
+        ));
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netgen_design_stitches_into_a_dag() {
+        let nl = from_netgen("PCI_BRIDGE", 0.03, 7).unwrap();
+        assert!(nl.nets().len() >= 40);
+        assert!(!nl.gates().is_empty());
+        assert!(!nl.primary_inputs().is_empty());
+        // Must be acyclic and fully timeable.
+        nl.net_topo_order().unwrap();
+        let t = nl
+            .propagate(&sta::wire::IdealWire, rcnet::Seconds::from_ps(20.0))
+            .unwrap();
+        assert_eq!(t.len(), nl.nets().len());
+    }
+
+    #[test]
+    fn netgen_design_is_deterministic_in_seed() {
+        let a = from_netgen("pci_bridge", 0.02, 11).unwrap();
+        let b = from_netgen("PCI_BRIDGE", 0.02, 11).unwrap();
+        assert_eq!(a.nets().len(), b.nets().len());
+        assert_eq!(a.gates().len(), b.gates().len());
+        for (x, y) in a.nets().iter().zip(b.nets()) {
+            assert_eq!(rcnet::content_hash(&x.rc), rcnet::content_hash(&y.rc));
+        }
+    }
+
+    #[test]
+    fn unknown_design_and_bad_scale_are_rejected() {
+        assert!(matches!(from_netgen("NOPE", 1.0, 1), Err(EcoError::BadDesign(_))));
+        assert!(matches!(from_netgen("DMA", 0.0, 1), Err(EcoError::BadDesign(_))));
+        assert!(matches!(
+            from_netgen("DMA", f64::NAN, 1),
+            Err(EcoError::BadDesign(_))
+        ));
+    }
+
+    const CHAIN_SPEF: &str = r#"*SPEF "IEEE 1481-1998"
+*DESIGN "chain"
+*DELIMITER :
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET na 3.0
+*CONN
+*I p0:Z O
+*I u1:A I
+*CAP
+1 na:1 1.0
+2 u1:A 2.0
+*RES
+1 p0:Z na:1 10.0
+2 na:1 u1:A 20.0
+*END
+*D_NET nb 2.0
+*CONN
+*I u1:Z O
+*I u2:A I
+*CAP
+1 u2:A 2.0
+*RES
+1 u1:Z u2:A 15.0
+*END
+"#;
+
+    #[test]
+    fn spef_instances_stitch_into_gates() {
+        let nl = from_spef(CHAIN_SPEF).unwrap();
+        assert_eq!(nl.nets().len(), 2);
+        assert_eq!(nl.gates().len(), 1);
+        assert_eq!(nl.primary_inputs().len(), 1);
+        // na (driven by p0, which loads nothing -> PI) feeds gate u1
+        // driving nb.
+        let t = nl
+            .propagate(&sta::wire::IdealWire, rcnet::Seconds::from_ps(20.0))
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn spef_multidriver_instance_is_rejected() {
+        let doubled = CHAIN_SPEF.replace("*I u1:Z O", "*I p0:Z O");
+        assert!(matches!(from_spef(&doubled), Err(EcoError::BadDesign(_))));
+    }
+}

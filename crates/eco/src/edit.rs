@@ -1,0 +1,221 @@
+//! The ECO edit vocabulary and RC-network rebuilding.
+//!
+//! Edits address nets and nodes by *name* — the stable handles an
+//! optimizer holds — and map onto the netlist/RC mutations the session
+//! applies. [`RcNet`] is immutable after build (derived adjacency and
+//! paths are shared), so value and topology edits rebuild the net
+//! through [`rcnet::RcNetBuilder`], which re-validates connectivity and
+//! sign constraints for free: a malformed ECO is rejected before it
+//! touches session state.
+
+use crate::EcoError;
+use rcnet::{Farads, NodeKind, Ohms, RcNet, RcNetBuilder};
+
+/// One engineering change order against a loaded design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoEdit {
+    /// Swap the cell driving `net` (a driver resize: e.g. `BUF_X1` →
+    /// `BUF_X4`). The net must be gate-driven, not a primary input.
+    ResizeDriver {
+        /// Net whose driver gate is resized.
+        net: String,
+        /// Replacement library cell name.
+        cell: String,
+    },
+    /// Override the effective load capacitance seen at one sink pin of
+    /// `net` (a downstream re-layout the session does not model
+    /// structurally).
+    SetSinkLoad {
+        /// The edited net.
+        net: String,
+        /// Sink node name on that net.
+        sink: String,
+        /// New effective load, femtofarads.
+        ceff_ff: f64,
+    },
+    /// Insert a buffer in front of one sink pin of `net`: the pin is
+    /// rewired through a new `cell` gate driving a short stub wire.
+    InsertBuffer {
+        /// The edited net.
+        net: String,
+        /// Sink node name whose pin gets buffered.
+        sink: String,
+        /// Buffer library cell name.
+        cell: String,
+    },
+    /// Change the value of the resistor between two named nodes of `net`.
+    SetResistance {
+        /// The edited net.
+        net: String,
+        /// One endpoint node name.
+        a: String,
+        /// Other endpoint node name.
+        b: String,
+        /// New resistance, ohms.
+        ohms: f64,
+    },
+    /// Change the ground capacitance of a named node of `net`.
+    SetCap {
+        /// The edited net.
+        net: String,
+        /// The node name.
+        node: String,
+        /// New ground capacitance, femtofarads.
+        ff: f64,
+    },
+    /// Add a new resistor between two existing nodes of `net` (a
+    /// topology change: closes a loop, as post-route metal fill or a
+    /// redundant via would).
+    AddResistor {
+        /// The edited net.
+        net: String,
+        /// One endpoint node name.
+        a: String,
+        /// Other endpoint node name.
+        b: String,
+        /// Resistance, ohms.
+        ohms: f64,
+    },
+}
+
+impl EcoEdit {
+    /// The name of the net this edit targets.
+    pub fn net(&self) -> &str {
+        match self {
+            EcoEdit::ResizeDriver { net, .. }
+            | EcoEdit::SetSinkLoad { net, .. }
+            | EcoEdit::InsertBuffer { net, .. }
+            | EcoEdit::SetResistance { net, .. }
+            | EcoEdit::SetCap { net, .. }
+            | EcoEdit::AddResistor { net, .. } => net,
+        }
+    }
+
+    /// A short stable tag for logs and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EcoEdit::ResizeDriver { .. } => "resize_driver",
+            EcoEdit::SetSinkLoad { .. } => "set_sink_load",
+            EcoEdit::InsertBuffer { .. } => "insert_buffer",
+            EcoEdit::SetResistance { .. } => "set_resistance",
+            EcoEdit::SetCap { .. } => "set_cap",
+            EcoEdit::AddResistor { .. } => "add_resistor",
+        }
+    }
+}
+
+/// Rebuilds `net` with per-element overrides applied. `edit_cap(name,
+/// old)` and `edit_res(a, b, old)` return a replacement value or `None`
+/// to keep the original; `extra_res` appends new resistors by node name.
+pub(crate) fn rebuild_net(
+    net: &RcNet,
+    mut edit_cap: impl FnMut(&str, Farads) -> Option<Farads>,
+    mut edit_res: impl FnMut(&str, &str, Ohms) -> Option<Ohms>,
+    extra_res: &[(String, String, Ohms)],
+) -> Result<RcNet, EcoError> {
+    let mut b = RcNetBuilder::new(net.name());
+    for (_, node) in net.iter_nodes() {
+        let cap = edit_cap(&node.name, node.cap).unwrap_or(node.cap);
+        match node.kind {
+            NodeKind::Source => b.source(node.name.clone(), cap),
+            NodeKind::Sink => b.sink(node.name.clone(), cap),
+            NodeKind::Internal => b.internal(node.name.clone(), cap),
+        };
+    }
+    for (_, e) in net.iter_edges() {
+        let (na, nb) = (&net.node(e.a).name, &net.node(e.b).name);
+        let res = edit_res(na, nb, e.res).unwrap_or(e.res);
+        let (ia, ib) = (
+            b.node_by_name(na).expect("node just added"),
+            b.node_by_name(nb).expect("node just added"),
+        );
+        b.resistor(ia, ib, res);
+    }
+    for (na, nb, res) in extra_res {
+        let ia = b.node_by_name(na).ok_or_else(|| EcoError::UnknownNode {
+            net: net.name().to_string(),
+            node: na.clone(),
+        })?;
+        let ib = b.node_by_name(nb).ok_or_else(|| EcoError::UnknownNode {
+            net: net.name().to_string(),
+            node: nb.clone(),
+        })?;
+        b.resistor(ia, ib, *res);
+    }
+    for c in net.couplings() {
+        let v = b
+            .node_by_name(&net.node(c.node).name)
+            .expect("node just added");
+        b.coupling(v, c.aggressor.clone(), c.cap);
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::content_hash;
+
+    fn fixture() -> RcNet {
+        let mut b = RcNetBuilder::new("n");
+        let s = b.source("n:z", Farads(1e-15));
+        let m = b.internal("n:1", Farads(2e-15));
+        let k = b.sink("u1:A", Farads(3e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k, Ohms(20.0));
+        b.coupling(m, "agg:0", Farads(0.4e-15));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rebuild_without_overrides_preserves_content() {
+        let net = fixture();
+        let copy = rebuild_net(&net, |_, _| None, |_, _, _| None, &[]).unwrap();
+        assert_eq!(content_hash(&copy), content_hash(&net));
+        assert_eq!(copy.sinks().len(), net.sinks().len());
+    }
+
+    #[test]
+    fn cap_and_res_overrides_apply() {
+        let net = fixture();
+        let out = rebuild_net(
+            &net,
+            |name, _| (name == "n:1").then_some(Farads(9e-15)),
+            |a, b, _| (a == "n:1" && b == "u1:A" || a == "u1:A" && b == "n:1")
+                .then_some(Ohms(99.0)),
+            &[],
+        )
+        .unwrap();
+        assert_ne!(content_hash(&out), content_hash(&net));
+        let m = out.node_by_name("n:1").unwrap();
+        assert_eq!(out.node(m).cap, Farads(9e-15));
+        assert!((out.total_res().value() - 109.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_resistor_closes_a_loop() {
+        let net = fixture();
+        assert!(net.is_tree());
+        let out = rebuild_net(
+            &net,
+            |_, _| None,
+            |_, _, _| None,
+            &[("n:z".to_string(), "u1:A".to_string(), Ohms(50.0))],
+        )
+        .unwrap();
+        assert!(!out.is_tree());
+        assert_eq!(out.loop_count(), 1);
+    }
+
+    #[test]
+    fn unknown_extra_endpoint_is_rejected() {
+        let net = fixture();
+        let err = rebuild_net(
+            &net,
+            |_, _| None,
+            |_, _, _| None,
+            &[("n:z".to_string(), "ghost".to_string(), Ohms(1.0))],
+        );
+        assert!(matches!(err, Err(EcoError::UnknownNode { .. })));
+    }
+}

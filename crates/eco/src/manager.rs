@@ -1,0 +1,199 @@
+//! Named concurrent design sessions under a byte budget.
+//!
+//! The manager owns every live [`DesignSession`] plus the *shared*
+//! [`PredictionCache`] they all probe — content-addressed keys make the
+//! cache safe to share across sessions (two sessions holding the same
+//! physical net in the same context hit the same entry). When resident
+//! sessions exceed the byte budget, least-recently-used sessions are
+//! evicted whole; a model hot-reload calls
+//! [`SessionManager::invalidate_prediction_cache`] so no session can
+//! read a prediction produced by the previous weights.
+
+use crate::cache::{CacheStats, PredictionCache};
+use crate::session::DesignSession;
+use crate::EcoError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    session: Arc<Mutex<DesignSession>>,
+    /// Logical access clock value at last touch (monotonic, not wall time).
+    last_access: u64,
+}
+
+/// Point-in-time manager counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ManagerStats {
+    /// Live sessions.
+    pub sessions: usize,
+    /// Approximate resident bytes across sessions.
+    pub session_bytes: usize,
+    /// Sessions evicted by the byte budget since start.
+    pub evictions: u64,
+    /// Shared prediction-cache counters.
+    pub cache: CacheStats,
+}
+
+struct Inner {
+    sessions: HashMap<String, Entry>,
+    clock: u64,
+    next_id: u64,
+    evictions: u64,
+}
+
+/// Registry of live design sessions sharing one prediction cache.
+pub struct SessionManager {
+    inner: Mutex<Inner>,
+    cache: Arc<PredictionCache>,
+    /// Byte budget across all resident sessions.
+    byte_budget: usize,
+}
+
+impl SessionManager {
+    /// A manager evicting sessions past `session_byte_budget`, with a
+    /// shared prediction cache of `cache_byte_budget`.
+    pub fn new(session_byte_budget: usize, cache_byte_budget: usize) -> Self {
+        SessionManager {
+            inner: Mutex::new(Inner {
+                sessions: HashMap::new(),
+                clock: 0,
+                next_id: 0,
+                evictions: 0,
+            }),
+            cache: Arc::new(PredictionCache::new(8, cache_byte_budget)),
+            byte_budget: session_byte_budget.max(1),
+        }
+    }
+
+    /// The shared prediction cache.
+    pub fn cache(&self) -> &Arc<PredictionCache> {
+        &self.cache
+    }
+
+    /// Registers `session` under `name` (or an auto-assigned `s<N>` id
+    /// when `name` is `None`), evicting LRU sessions if the byte budget
+    /// overflows. Returns the session id. An existing session with the
+    /// same name is replaced.
+    pub fn insert(&self, name: Option<String>, session: DesignSession) -> String {
+        let mut inner = self.inner.lock().expect("manager lock");
+        let id = name.unwrap_or_else(|| {
+            inner.next_id += 1;
+            format!("s{}", inner.next_id)
+        });
+        inner.clock += 1;
+        let tick = inner.clock;
+        inner.sessions.insert(
+            id.clone(),
+            Entry {
+                session: Arc::new(Mutex::new(session)),
+                last_access: tick,
+            },
+        );
+        self.evict_over_budget(&mut inner, &id);
+        obs::gauge("eco.sessions.live").set(inner.sessions.len() as f64);
+        id
+    }
+
+    /// Evicts least-recently-used sessions (never `keep`) until the
+    /// resident estimate fits the budget.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: &str) {
+        loop {
+            let total: usize = inner
+                .sessions
+                .values()
+                .map(|e| e.session.lock().expect("session lock").approx_bytes())
+                .sum();
+            if total <= self.byte_budget || inner.sessions.len() <= 1 {
+                return;
+            }
+            let victim = inner
+                .sessions
+                .iter()
+                .filter(|(id, _)| id.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(id, _)| id.clone());
+            match victim {
+                Some(id) => {
+                    inner.sessions.remove(&id);
+                    inner.evictions += 1;
+                    obs::counter("eco.sessions.evicted").inc();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The session registered under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownSession`] when `id` is not live (never
+    /// created, deleted, or evicted).
+    pub fn get(&self, id: &str) -> Result<Arc<Mutex<DesignSession>>, EcoError> {
+        let mut inner = self.inner.lock().expect("manager lock");
+        inner.clock += 1;
+        let tick = inner.clock;
+        let entry = inner
+            .sessions
+            .get_mut(id)
+            .ok_or_else(|| EcoError::UnknownSession(id.to_string()))?;
+        entry.last_access = tick;
+        Ok(Arc::clone(&entry.session))
+    }
+
+    /// Removes the session registered under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownSession`] when `id` is not live.
+    pub fn delete(&self, id: &str) -> Result<(), EcoError> {
+        let mut inner = self.inner.lock().expect("manager lock");
+        inner
+            .sessions
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| EcoError::UnknownSession(id.to_string()))?;
+        obs::gauge("eco.sessions.live").set(inner.sessions.len() as f64);
+        Ok(())
+    }
+
+    /// Live session ids, unordered.
+    pub fn ids(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("manager lock");
+        inner.sessions.keys().cloned().collect()
+    }
+
+    /// Drops every cached prediction. Call on model hot-reload: the new
+    /// generation also changes every cache key, so this primarily
+    /// reclaims bytes dead to the old generation.
+    pub fn invalidate_prediction_cache(&self) {
+        self.cache.invalidate_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ManagerStats {
+        let inner = self.inner.lock().expect("manager lock");
+        let session_bytes = inner
+            .sessions
+            .values()
+            .map(|e| e.session.lock().expect("session lock").approx_bytes())
+            .sum();
+        ManagerStats {
+            sessions: inner.sessions.len(),
+            session_bytes,
+            evictions: inner.evictions,
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SessionManager")
+            .field("sessions", &s.sessions)
+            .field("session_bytes", &s.session_bytes)
+            .field("byte_budget", &self.byte_budget)
+            .finish()
+    }
+}

@@ -1,0 +1,653 @@
+//! Stateful design sessions with incremental re-timing.
+//!
+//! A session owns a [`sta::netlist::Netlist`] plus its current
+//! arrival-time solution. Applying a batch of [`EcoEdit`]s:
+//!
+//! 1. snapshots the pre-edit state (epoch-tagged, for rollback);
+//! 2. mutates the netlist (driver resize / buffer insertion / RC
+//!    rebuild), collecting the *seed* nets each edit touches — including
+//!    upstream nets whose driver/load context changed (a resized gate
+//!    presents a different pin capacitance to the nets feeding it);
+//! 3. expands seeds to the dirty cone (seeds plus everything downstream
+//!    through fanout gates);
+//! 4. re-times only dirty nets, in net topological order, reusing the
+//!    stored timing of clean nets. Per-net wire predictions go through
+//!    the content-addressed [`PredictionCache`]; arrival arithmetic is
+//!    [`sta::netlist::Netlist::gate_output_arrival`] — the same code
+//!    `propagate` uses, so an incremental solution is arithmetically
+//!    identical to a cold full re-time of the same design.
+//!
+//! A re-time under a *different* model generation escalates to a full
+//! re-time: every stored number was produced by the old weights.
+
+use crate::cache::{cache_key, CachedPaths, PredictionCache};
+use crate::edit::{rebuild_net, EcoEdit};
+use crate::EcoError;
+use gnntrans::features::LoadInfo;
+use gnntrans::{NetContext, WireTimingEstimator};
+use rcnet::{content_hash, Farads, Fnv1a, Ohms, RcNetBuilder, Seconds};
+use sta::cells::CellLibrary;
+use sta::netlist::{NetId, NetTiming, Netlist};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-retime effort breakdown, in seconds and cache events. The four
+/// durations map onto the `dirty_set` / `cache_lookup` / `predict` /
+/// `propagate` trace stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetimeStats {
+    /// Seconds computing the dirty cone.
+    pub dirty_set_s: f64,
+    /// Seconds probing the prediction cache.
+    pub cache_lookup_s: f64,
+    /// Seconds inside the model for cache misses.
+    pub predict_s: f64,
+    /// Seconds of arrival-time arithmetic (re-leveling the cone).
+    pub propagate_s: f64,
+    /// Cache hits during this re-time.
+    pub cache_hits: u64,
+    /// Cache misses during this re-time.
+    pub cache_misses: u64,
+    /// Nets actually re-timed.
+    pub nets_retimed: usize,
+}
+
+/// Outcome of one applied ECO batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoReport {
+    /// The session epoch after the batch (monotonic; snapshot tag).
+    pub epoch: u64,
+    /// Names of the nets the batch dirtied, in netlist index order.
+    pub dirty_nets: Vec<String>,
+    /// Effort breakdown.
+    pub stats: RetimeStats,
+    /// The model generation the re-time ran under.
+    pub model_generation: u64,
+    /// Whether a generation change escalated this batch to a full re-time.
+    pub full_retime: bool,
+}
+
+/// The worst (latest-arriving) endpoint of the design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalEndpoint {
+    /// Net carrying the endpoint.
+    pub net: String,
+    /// Sink pin name.
+    pub sink: String,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+    /// Slew, seconds.
+    pub slew: f64,
+}
+
+/// A point-in-time timing summary for `GET /v1/session/{id}/timing`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSummary {
+    /// Net count.
+    pub nets: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Model generation the stored timing was computed with.
+    pub model_generation: u64,
+    /// Worst endpoint (absent only for a design with no open pins).
+    pub critical: Option<CriticalEndpoint>,
+}
+
+/// Epoch-tagged pre-edit state for rollback.
+struct Snapshot {
+    epoch: u64,
+    netlist: Netlist,
+    load_overrides: HashMap<(usize, usize), f64>,
+    net_hash: Vec<u64>,
+    sink_names: Vec<Vec<String>>,
+    net_index: HashMap<String, usize>,
+    timing: Vec<NetTiming>,
+    model_generation: u64,
+}
+
+/// How many rejected-ECO rollback points a session retains.
+const MAX_SNAPSHOTS: usize = 8;
+
+/// A loaded design with its current incremental timing solution.
+pub struct DesignSession {
+    name: String,
+    netlist: Netlist,
+    lib: CellLibrary,
+    input_slew: Seconds,
+    /// `(net index, sink pos)` → overridden effective load, farads.
+    load_overrides: HashMap<(usize, usize), f64>,
+    /// Canonical content hash per net (recomputed on RC change).
+    net_hash: Vec<u64>,
+    /// Sink node names per net (cache-entry validation + reports).
+    sink_names: Vec<Vec<String>>,
+    net_index: HashMap<String, usize>,
+    timing: Vec<NetTiming>,
+    epoch: u64,
+    model_generation: u64,
+    snapshots: VecDeque<Snapshot>,
+    /// Monotonic counter naming inserted buffer stubs.
+    buf_counter: u64,
+}
+
+fn empty_timing() -> NetTiming {
+    NetTiming {
+        at_driver: (Seconds(0.0), Seconds(0.0)),
+        at_sinks: Vec::new(),
+    }
+}
+
+fn sink_names_of(rc: &rcnet::RcNet) -> Vec<String> {
+    rc.sinks().iter().map(|&s| rc.node(s).name.clone()).collect()
+}
+
+/// Hashes the driver/load context a net is predicted under. Combined
+/// with the net content hash and model generation this forms the cache
+/// key, so *any* context change (upstream slew, driver resize, load
+/// override) re-predicts instead of reusing a stale entry.
+fn ctx_hash(ctx: &NetContext) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"eco.ctx.v1")
+        .write_f64(ctx.input_slew.value())
+        .write_f64(ctx.drive_strength)
+        .write_f64(ctx.drive_func)
+        .write_f64(ctx.drive_res.value())
+        .write_u64(ctx.loads.len() as u64);
+    for l in &ctx.loads {
+        h.write_f64(l.drive).write_f64(l.func).write_f64(l.ceff);
+    }
+    h.finish()
+}
+
+impl DesignSession {
+    /// Wraps a netlist into an *untimed* session; call
+    /// [`DesignSession::full_retime`] before reading timing.
+    pub fn new(name: impl Into<String>, netlist: Netlist, input_slew: Seconds) -> Self {
+        let net_hash: Vec<u64> = netlist.nets().iter().map(|n| content_hash(&n.rc)).collect();
+        let sink_names: Vec<Vec<String>> =
+            netlist.nets().iter().map(|n| sink_names_of(&n.rc)).collect();
+        let net_index: HashMap<String, usize> = netlist
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.rc.name().to_string(), i))
+            .collect();
+        let timing = vec![empty_timing(); netlist.nets().len()];
+        DesignSession {
+            name: name.into(),
+            netlist,
+            lib: CellLibrary::builtin(),
+            input_slew,
+            load_overrides: HashMap::new(),
+            net_hash,
+            sink_names,
+            net_index,
+            timing,
+            epoch: 0,
+            model_generation: 0,
+            snapshots: VecDeque::new(),
+            buf_counter: 0,
+        }
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current epoch (bumped by every applied batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The model generation the stored timing was computed under.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// The underlying netlist (read-only).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Rough resident size: netlist + timing, times retained snapshots.
+    pub fn approx_bytes(&self) -> usize {
+        let nets: usize = self
+            .netlist
+            .nets()
+            .iter()
+            .map(|n| n.rc.node_count() * 96 + n.rc.edge_count() * 32)
+            .sum();
+        let timing: usize = self.timing.iter().map(|t| 48 + t.at_sinks.len() * 32).sum();
+        let gates = self.netlist.gates().len() * 160;
+        (nets + timing + gates) * (1 + self.snapshots.len())
+    }
+
+    /// The driver/load context net `i` is currently timed under.
+    fn ctx_for(&self, i: usize, slew: Seconds) -> NetContext {
+        let ni = &self.netlist.nets()[i];
+        let mut ctx = match ni.driver {
+            Some(g) => NetContext::for_driver(&ni.rc, &self.netlist.gates()[g.0].cell, slew),
+            None => {
+                let mut c = NetContext::generic(&ni.rc);
+                c.input_slew = slew;
+                c
+            }
+        };
+        for (pos, fo) in ni.fanout.iter().enumerate() {
+            if let Some(g) = fo {
+                let cell = &self.netlist.gates()[g.0].cell;
+                ctx.loads[pos] = LoadInfo {
+                    drive: cell.drive(),
+                    func: cell.func().encode(),
+                    ceff: cell.pin_cap().value(),
+                };
+            }
+            if let Some(&ov) = self.load_overrides.get(&(i, pos)) {
+                ctx.loads[pos].ceff = ov;
+            }
+        }
+        ctx
+    }
+
+    /// Re-times the nets marked in `dirty`, in net topological order.
+    fn retime(
+        &mut self,
+        dirty: &[bool],
+        est: &WireTimingEstimator,
+        generation: u64,
+        cache: &PredictionCache,
+    ) -> Result<RetimeStats, EcoError> {
+        let loop_start = Instant::now();
+        let mut stats = RetimeStats::default();
+        let order = self.netlist.net_topo_order()?;
+        for n in order {
+            if !dirty[n.0] {
+                continue;
+            }
+            let at_driver = match self.netlist.nets()[n.0].driver {
+                None => (Seconds(0.0), self.input_slew),
+                Some(g) => {
+                    let timing = &self.timing;
+                    self.netlist
+                        .gate_output_arrival(g, |net| Some(timing[net.0].at_sinks.as_slice()))?
+                }
+            };
+            let ctx = self.ctx_for(n.0, at_driver.1);
+            let key = cache_key(self.net_hash[n.0], ctx_hash(&ctx), generation);
+
+            let t_probe = Instant::now();
+            let cached = cache.get(key, &self.sink_names[n.0]);
+            stats.cache_lookup_s += t_probe.elapsed().as_secs_f64();
+
+            let paths: Vec<(Seconds, Seconds)> = match cached {
+                Some(v) => {
+                    stats.cache_hits += 1;
+                    v.timings().collect()
+                }
+                None => {
+                    stats.cache_misses += 1;
+                    let t_pred = Instant::now();
+                    let ests = est.predict_net(&self.netlist.nets()[n.0].rc, &ctx)?;
+                    stats.predict_s += t_pred.elapsed().as_secs_f64();
+                    cache.insert(key, Arc::new(CachedPaths::new(&self.sink_names[n.0], &ests)));
+                    ests.iter().map(|e| (e.slew, e.delay)).collect()
+                }
+            };
+            self.timing[n.0] = NetTiming {
+                at_driver,
+                at_sinks: paths
+                    .iter()
+                    .map(|&(slew, delay)| (at_driver.0 + delay, slew))
+                    .collect(),
+            };
+            stats.nets_retimed += 1;
+        }
+        stats.propagate_s = (loop_start.elapsed().as_secs_f64()
+            - stats.cache_lookup_s
+            - stats.predict_s)
+            .max(0.0);
+        self.model_generation = generation;
+        Ok(stats)
+    }
+
+    /// Times (or re-times) the whole design under `generation`.
+    pub fn full_retime(
+        &mut self,
+        est: &WireTimingEstimator,
+        generation: u64,
+        cache: &PredictionCache,
+    ) -> Result<RetimeStats, EcoError> {
+        let dirty = vec![true; self.netlist.nets().len()];
+        self.retime(&dirty, est, generation, cache)
+    }
+
+    fn snapshot(&mut self) {
+        self.snapshots.push_back(Snapshot {
+            epoch: self.epoch,
+            netlist: self.netlist.clone(),
+            load_overrides: self.load_overrides.clone(),
+            net_hash: self.net_hash.clone(),
+            sink_names: self.sink_names.clone(),
+            net_index: self.net_index.clone(),
+            timing: self.timing.clone(),
+            model_generation: self.model_generation,
+        });
+        while self.snapshots.len() > MAX_SNAPSHOTS {
+            self.snapshots.pop_front();
+        }
+    }
+
+    fn restore(&mut self, s: Snapshot) {
+        self.epoch = s.epoch;
+        self.netlist = s.netlist;
+        self.load_overrides = s.load_overrides;
+        self.net_hash = s.net_hash;
+        self.sink_names = s.sink_names;
+        self.net_index = s.net_index;
+        self.timing = s.timing;
+        self.model_generation = s.model_generation;
+    }
+
+    fn net_idx(&self, name: &str) -> Result<usize, EcoError> {
+        self.net_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| EcoError::UnknownNet(name.to_string()))
+    }
+
+    fn sink_pos(&self, net_idx: usize, sink: &str) -> Result<usize, EcoError> {
+        self.sink_names[net_idx]
+            .iter()
+            .position(|n| n == sink)
+            .ok_or_else(|| EcoError::UnknownNode {
+                net: self.netlist.nets()[net_idx].rc.name().to_string(),
+                node: sink.to_string(),
+            })
+    }
+
+    fn cell(&self, name: &str) -> Result<sta::cells::Cell, EcoError> {
+        self.lib
+            .cell(name)
+            .cloned()
+            .ok_or_else(|| EcoError::UnknownCell(name.to_string()))
+    }
+
+    /// Mutates the design for one edit; returns the seed nets whose
+    /// timing inputs changed.
+    fn apply_edit(&mut self, edit: &EcoEdit) -> Result<Vec<NetId>, EcoError> {
+        let idx = self.net_idx(edit.net())?;
+        match edit {
+            EcoEdit::ResizeDriver { cell, .. } => {
+                let gid = self.netlist.nets()[idx].driver.ok_or_else(|| {
+                    EcoError::BadEdit(format!(
+                        "net `{}` is a primary input; nothing to resize",
+                        edit.net()
+                    ))
+                })?;
+                let new_cell = self.cell(cell)?;
+                let old = self.netlist.set_gate_cell(gid, new_cell)?;
+                // The resized gate changes its output net's drive *and*
+                // the pin capacitance its input nets see.
+                let mut seeds = vec![NetId(idx)];
+                seeds.extend(self.netlist.gates()[gid.0].inputs.iter().copied());
+                let _ = old;
+                Ok(seeds)
+            }
+            EcoEdit::SetSinkLoad { sink, ceff_ff, .. } => {
+                if !(ceff_ff.is_finite() && *ceff_ff >= 0.0) {
+                    return Err(EcoError::BadEdit(format!("bad ceff_ff {ceff_ff}")));
+                }
+                let pos = self.sink_pos(idx, sink)?;
+                self.load_overrides.insert((idx, pos), ceff_ff * 1e-15);
+                Ok(vec![NetId(idx)])
+            }
+            EcoEdit::InsertBuffer { sink, cell, .. } => {
+                let pos = self.sink_pos(idx, sink)?;
+                let buf_cell = self.cell(cell)?;
+                self.buf_counter += 1;
+                let stub_name = format!("eco_buf{}", self.buf_counter);
+                let mut b = RcNetBuilder::new(stub_name.clone());
+                let s = b.source(format!("{stub_name}:Z"), Farads(0.1e-15));
+                let k = b.sink(format!("{stub_name}:A"), Farads(0.5e-15));
+                b.resistor(s, k, Ohms(15.0));
+                let stub = b.build()?;
+                let (_, stub_net) = self.netlist.insert_buffer(NetId(idx), pos, buf_cell, stub)?;
+                let rc = &self.netlist.nets()[stub_net.0].rc;
+                self.net_hash.push(content_hash(rc));
+                self.sink_names.push(sink_names_of(rc));
+                self.net_index.insert(stub_name, stub_net.0);
+                self.timing.push(empty_timing());
+                Ok(vec![NetId(idx), stub_net])
+            }
+            EcoEdit::SetResistance { a, b, ohms, .. } => {
+                if !(ohms.is_finite() && *ohms > 0.0) {
+                    return Err(EcoError::BadEdit(format!("bad resistance {ohms}")));
+                }
+                let mut matched = false;
+                let rc = &self.netlist.nets()[idx].rc;
+                let rebuilt = rebuild_net(
+                    rc,
+                    |_, _| None,
+                    |x, y, _| {
+                        if (x == a && y == b) || (x == b && y == a) {
+                            matched = true;
+                            Some(Ohms(*ohms))
+                        } else {
+                            None
+                        }
+                    },
+                    &[],
+                )?;
+                if !matched {
+                    return Err(EcoError::BadEdit(format!(
+                        "net `{}` has no resistor between `{a}` and `{b}`",
+                        edit.net()
+                    )));
+                }
+                self.replace_rc(idx, rebuilt)?;
+                Ok(vec![NetId(idx)])
+            }
+            EcoEdit::SetCap { node, ff, .. } => {
+                if !(ff.is_finite() && *ff >= 0.0) {
+                    return Err(EcoError::BadEdit(format!("bad capacitance {ff}")));
+                }
+                let mut matched = false;
+                let rc = &self.netlist.nets()[idx].rc;
+                let rebuilt = rebuild_net(
+                    rc,
+                    |name, _| {
+                        if name == node {
+                            matched = true;
+                            Some(Farads(ff * 1e-15))
+                        } else {
+                            None
+                        }
+                    },
+                    |_, _, _| None,
+                    &[],
+                )?;
+                if !matched {
+                    return Err(EcoError::UnknownNode {
+                        net: edit.net().to_string(),
+                        node: node.clone(),
+                    });
+                }
+                self.replace_rc(idx, rebuilt)?;
+                Ok(vec![NetId(idx)])
+            }
+            EcoEdit::AddResistor { a, b, ohms, .. } => {
+                if !(ohms.is_finite() && *ohms > 0.0) {
+                    return Err(EcoError::BadEdit(format!("bad resistance {ohms}")));
+                }
+                let rc = &self.netlist.nets()[idx].rc;
+                let rebuilt = rebuild_net(
+                    rc,
+                    |_, _| None,
+                    |_, _, _| None,
+                    &[(a.clone(), b.clone(), Ohms(*ohms))],
+                )?;
+                self.replace_rc(idx, rebuilt)?;
+                Ok(vec![NetId(idx)])
+            }
+        }
+    }
+
+    fn replace_rc(&mut self, idx: usize, rc: rcnet::RcNet) -> Result<(), EcoError> {
+        self.netlist.replace_net_rc(NetId(idx), rc)?;
+        let rc = &self.netlist.nets()[idx].rc;
+        self.net_hash[idx] = content_hash(rc);
+        self.sink_names[idx] = sink_names_of(rc);
+        Ok(())
+    }
+
+    /// Applies a batch of edits atomically: on any failure the session
+    /// is exactly as before. On success the epoch advances and the
+    /// pre-edit state is retained as a rollback snapshot.
+    pub fn apply(
+        &mut self,
+        edits: &[EcoEdit],
+        est: &WireTimingEstimator,
+        generation: u64,
+        cache: &PredictionCache,
+    ) -> Result<EcoReport, EcoError> {
+        if edits.is_empty() {
+            return Err(EcoError::BadEdit("empty edit batch".into()));
+        }
+        self.snapshot();
+        match self.apply_inner(edits, est, generation, cache) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                let snap = self.snapshots.pop_back().expect("snapshot just pushed");
+                self.restore(snap);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(
+        &mut self,
+        edits: &[EcoEdit],
+        est: &WireTimingEstimator,
+        generation: u64,
+        cache: &PredictionCache,
+    ) -> Result<EcoReport, EcoError> {
+        let t_dirty = Instant::now();
+        let mut seeds = Vec::new();
+        for edit in edits {
+            seeds.extend(self.apply_edit(edit)?);
+        }
+        let full_retime = generation != self.model_generation;
+        let mut dirty = vec![full_retime; self.netlist.nets().len()];
+        if !full_retime {
+            for seed in seeds {
+                for n in self.netlist.downstream_nets(seed) {
+                    dirty[n.0] = true;
+                }
+            }
+        }
+        let dirty_set_s = t_dirty.elapsed().as_secs_f64();
+
+        let mut stats = self.retime(&dirty, est, generation, cache)?;
+        stats.dirty_set_s = dirty_set_s;
+        self.epoch += 1;
+        let dirty_nets: Vec<String> = dirty
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| self.netlist.nets()[i].rc.name().to_string())
+            .collect();
+        Ok(EcoReport {
+            epoch: self.epoch,
+            dirty_nets,
+            stats,
+            model_generation: generation,
+            full_retime,
+        })
+    }
+
+    /// Rolls the session back to the state it had at `epoch` (a rejected
+    /// ECO). Later snapshots are discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::UnknownEpoch`] when no snapshot for `epoch` is
+    /// retained (too old, or never existed).
+    pub fn rollback(&mut self, epoch: u64) -> Result<(), EcoError> {
+        let pos = self
+            .snapshots
+            .iter()
+            .position(|s| s.epoch == epoch)
+            .ok_or(EcoError::UnknownEpoch(epoch))?;
+        let snap = self.snapshots.remove(pos).expect("position just found");
+        self.snapshots.truncate(pos);
+        self.restore(snap);
+        Ok(())
+    }
+
+    /// Epochs with retained rollback snapshots, oldest first.
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|s| s.epoch).collect()
+    }
+
+    /// The worst endpoint and design-level counts.
+    pub fn timing_summary(&self) -> TimingSummary {
+        let mut critical: Option<CriticalEndpoint> = None;
+        for (i, ni) in self.netlist.nets().iter().enumerate() {
+            let nt = &self.timing[i];
+            for (pos, fo) in ni.fanout.iter().enumerate() {
+                if fo.is_some() {
+                    continue;
+                }
+                let Some(&(at, slew)) = nt.at_sinks.get(pos) else {
+                    continue;
+                };
+                if critical.as_ref().is_none_or(|c| at.value() > c.arrival) {
+                    critical = Some(CriticalEndpoint {
+                        net: ni.rc.name().to_string(),
+                        sink: self.sink_names[i][pos].clone(),
+                        arrival: at.value(),
+                        slew: slew.value(),
+                    });
+                }
+            }
+        }
+        TimingSummary {
+            nets: self.netlist.nets().len(),
+            gates: self.netlist.gates().len(),
+            epoch: self.epoch,
+            model_generation: self.model_generation,
+            critical,
+        }
+    }
+
+    /// Per-sink `(pin name, arrival seconds, slew seconds)` for a net.
+    pub fn net_timing(&self, net: &str) -> Result<Vec<(String, f64, f64)>, EcoError> {
+        let idx = self.net_idx(net)?;
+        Ok(self.sink_names[idx]
+            .iter()
+            .zip(&self.timing[idx].at_sinks)
+            .map(|(n, &(at, slew))| (n.clone(), at.value(), slew.value()))
+            .collect())
+    }
+
+    /// The complete stored per-net timing (oracle tests compare this).
+    pub fn all_timing(&self) -> &[NetTiming] {
+        &self.timing
+    }
+}
+
+// Manual impl to avoid dumping whole netlists into logs.
+impl std::fmt::Debug for DesignSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignSession")
+            .field("name", &self.name)
+            .field("nets", &self.netlist.nets().len())
+            .field("gates", &self.netlist.gates().len())
+            .field("epoch", &self.epoch)
+            .field("model_generation", &self.model_generation)
+            .finish()
+    }
+}

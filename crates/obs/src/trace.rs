@@ -270,12 +270,22 @@ pub enum Stage {
     BatchWait = 3,
     /// Inside `predict_many` (the whole co-batched call).
     Inference = 4,
-    /// Rendering, the reply channel, and the socket write.
-    Respond = 5,
+    /// ECO sessions: mapping an edit to the dirty nets + downstream cone.
+    DirtySet = 5,
+    /// ECO sessions: prediction-cache probes for the dirty nets.
+    CacheLookup = 6,
+    /// ECO sessions: model predictions for cache misses.
+    Predict = 7,
+    /// ECO sessions: incremental arrival-time propagation over the cone.
+    Propagate = 8,
+    /// Rendering, the reply channel, and the socket write. Kept last:
+    /// serve computes it as the clamped remainder of the wall clock, so
+    /// every other stage must precede it.
+    Respond = 9,
 }
 
 /// Number of pipeline stages.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 10;
 
 impl Stage {
     /// All stages in pipeline order.
@@ -285,6 +295,10 @@ impl Stage {
         Stage::QueueWait,
         Stage::BatchWait,
         Stage::Inference,
+        Stage::DirtySet,
+        Stage::CacheLookup,
+        Stage::Predict,
+        Stage::Propagate,
         Stage::Respond,
     ];
 
@@ -296,6 +310,10 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::BatchWait => "batch_wait",
             Stage::Inference => "inference",
+            Stage::DirtySet => "dirty_set",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Predict => "predict",
+            Stage::Propagate => "propagate",
             Stage::Respond => "respond",
         }
     }

@@ -1,0 +1,257 @@
+//! Canonical 64-bit content hashing of RC networks.
+//!
+//! Incremental timing needs a stable identity for "this exact net": two
+//! nets with the same nodes, resistances, capacitances and coupling caps
+//! must hash identically *regardless of the order the builder saw them
+//! in*, and any change to a value or to the topology must flip the hash.
+//! That identity keys the ECO prediction cache, so the canonicalization
+//! here is load-bearing: a false collision would serve a stale timing
+//! estimate for a physically different net.
+//!
+//! The scheme is FNV-1a over a normalized traversal:
+//!
+//! 1. nodes are visited in lexicographic *name* order (names are the
+//!    stable handle across rebuilds; [`crate::net::NodeId`]s are not),
+//!    hashing name, kind and `cap.to_bits()`;
+//! 2. edges are re-expressed as `(min_rank, max_rank, res)` over the
+//!    name-order ranks, sorted, then hashed;
+//! 3. coupling caps are re-expressed as `(victim_rank, aggressor, cap)`,
+//!    sorted, then hashed.
+//!
+//! The net *name* is deliberately excluded: the hash addresses content,
+//! so a renamed but electrically identical net reuses cached work.
+
+use crate::net::{NodeKind, RcNet};
+
+/// Incremental FNV-1a (64-bit) hasher.
+///
+/// Exposed so downstream crates (the ECO engine hashes driver/load
+/// context alongside the net) can extend a net hash with more fields
+/// using the same primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` by exact bit pattern; no rounding, so any value
+    /// change (however small) changes the hash.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a length-prefixed string (prefix prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn kind_tag(kind: NodeKind) -> u8 {
+    match kind {
+        NodeKind::Source => 1,
+        NodeKind::Sink => 2,
+        NodeKind::Internal => 3,
+    }
+}
+
+/// Canonical content hash of a net's topology and parasitics.
+///
+/// Stable across builder insertion order and node-id assignment; changes
+/// whenever a node name/kind/cap, an edge or its resistance, or a
+/// coupling cap changes. The net name is *not* hashed (see module docs).
+pub fn content_hash(net: &RcNet) -> u64 {
+    // Rank nodes by name. Builder semantics guarantee unique names, so
+    // the order (and therefore the hash) is total and deterministic.
+    let mut order: Vec<usize> = (0..net.node_count()).collect();
+    order.sort_by(|&a, &b| net.nodes()[a].name.cmp(&net.nodes()[b].name));
+    let mut rank = vec![0u32; net.node_count()];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r as u32;
+    }
+
+    let mut h = Fnv1a::new();
+    h.write(b"rcnet.content.v1");
+    h.write_u64(net.node_count() as u64);
+    h.write_u64(net.edge_count() as u64);
+    h.write_u64(net.couplings().len() as u64);
+
+    for &i in &order {
+        let n = &net.nodes()[i];
+        h.write_str(&n.name);
+        h.write(&[kind_tag(n.kind)]);
+        h.write_f64(n.cap.value());
+    }
+
+    let mut edges: Vec<(u32, u32, u64)> = net
+        .edges()
+        .iter()
+        .map(|e| {
+            let (ra, rb) = (rank[e.a.index()], rank[e.b.index()]);
+            (ra.min(rb), ra.max(rb), e.res.value().to_bits())
+        })
+        .collect();
+    edges.sort_unstable();
+    for (a, b, res) in edges {
+        h.write_u64(u64::from(a)).write_u64(u64::from(b)).write_u64(res);
+    }
+
+    let mut couplings: Vec<(u32, &str, u64)> = net
+        .couplings()
+        .iter()
+        .map(|c| (rank[c.node.index()], c.aggressor.as_str(), c.cap.value().to_bits()))
+        .collect();
+    couplings.sort_unstable();
+    for (r, aggressor, cap) in couplings {
+        h.write_u64(u64::from(r)).write_str(aggressor).write_u64(cap);
+    }
+
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Farads, Ohms, RcNetBuilder};
+
+    /// A 4-node tree built with nodes/edges declared in `forward` or
+    /// reversed order; electrically identical either way.
+    fn star(forward: bool) -> RcNet {
+        let mut b = RcNetBuilder::new(if forward { "a" } else { "b" });
+        if forward {
+            let s = b.source("drv:Z", Farads(1e-15));
+            let m = b.internal("n:1", Farads(2e-15));
+            let k1 = b.sink("u1:A", Farads(3e-15));
+            let k2 = b.sink("u2:A", Farads(4e-15));
+            b.resistor(s, m, Ohms(10.0));
+            b.resistor(m, k1, Ohms(20.0));
+            b.resistor(m, k2, Ohms(30.0));
+            b.coupling(k1, "agg:7", Farads(0.5e-15));
+        } else {
+            let k2 = b.sink("u2:A", Farads(4e-15));
+            let k1 = b.sink("u1:A", Farads(3e-15));
+            let m = b.internal("n:1", Farads(2e-15));
+            let s = b.source("drv:Z", Farads(1e-15));
+            b.resistor(k2, m, Ohms(30.0));
+            b.resistor(k1, m, Ohms(20.0));
+            b.resistor(m, s, Ohms(10.0));
+            b.coupling(k1, "agg:7", Farads(0.5e-15));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insertion_order_and_name_do_not_matter() {
+        assert_eq!(content_hash(&star(true)), content_hash(&star(false)));
+    }
+
+    #[test]
+    fn value_changes_flip_the_hash() {
+        let base = content_hash(&star(true));
+
+        let mut b = RcNetBuilder::new("a");
+        let s = b.source("drv:Z", Farads(1e-15));
+        let m = b.internal("n:1", Farads(2e-15));
+        let k1 = b.sink("u1:A", Farads(3e-15));
+        let k2 = b.sink("u2:A", Farads(4e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(m, k2, Ohms(30.000001)); // one resistor nudged
+        b.coupling(k1, "agg:7", Farads(0.5e-15));
+        assert_ne!(content_hash(&b.build().unwrap()), base);
+
+        let mut b = RcNetBuilder::new("a");
+        let s = b.source("drv:Z", Farads(1e-15));
+        let m = b.internal("n:1", Farads(2.0000001e-15)); // one cap nudged
+        let k1 = b.sink("u1:A", Farads(3e-15));
+        let k2 = b.sink("u2:A", Farads(4e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(m, k2, Ohms(30.0));
+        b.coupling(k1, "agg:7", Farads(0.5e-15));
+        assert_ne!(content_hash(&b.build().unwrap()), base);
+    }
+
+    #[test]
+    fn topology_changes_flip_the_hash() {
+        let base = content_hash(&star(true));
+
+        // Same nodes, different wiring: chain instead of star.
+        let mut b = RcNetBuilder::new("a");
+        let s = b.source("drv:Z", Farads(1e-15));
+        let m = b.internal("n:1", Farads(2e-15));
+        let k1 = b.sink("u1:A", Farads(3e-15));
+        let k2 = b.sink("u2:A", Farads(4e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(k1, k2, Ohms(30.0));
+        b.coupling(k1, "agg:7", Farads(0.5e-15));
+        assert_ne!(content_hash(&b.build().unwrap()), base);
+
+        // Dropping the coupling cap also flips it.
+        let mut b = RcNetBuilder::new("a");
+        let s = b.source("drv:Z", Farads(1e-15));
+        let m = b.internal("n:1", Farads(2e-15));
+        let k1 = b.sink("u1:A", Farads(3e-15));
+        let k2 = b.sink("u2:A", Farads(4e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(m, k2, Ohms(30.0));
+        assert_ne!(content_hash(&b.build().unwrap()), base);
+    }
+
+    #[test]
+    fn kind_changes_flip_the_hash() {
+        // Promote the internal node to a sink: same values, new role.
+        let mut b = RcNetBuilder::new("a");
+        let s = b.source("drv:Z", Farads(1e-15));
+        let m = b.sink("n:1", Farads(2e-15));
+        let k1 = b.sink("u1:A", Farads(3e-15));
+        let k2 = b.sink("u2:A", Farads(4e-15));
+        b.resistor(s, m, Ohms(10.0));
+        b.resistor(m, k1, Ohms(20.0));
+        b.resistor(m, k2, Ohms(30.0));
+        b.coupling(k1, "agg:7", Farads(0.5e-15));
+        assert_ne!(content_hash(&b.build().unwrap()), content_hash(&star(true)));
+    }
+
+    #[test]
+    fn fnv_primitive_is_stable() {
+        // Pin the primitive so checkpointed caches stay valid across
+        // refactors: FNV-1a of "a" is a published constant.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

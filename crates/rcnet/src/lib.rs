@@ -34,6 +34,7 @@
 //! # }
 //! ```
 
+pub mod hash;
 pub mod net;
 pub mod path;
 pub mod reduce;
@@ -41,6 +42,7 @@ pub mod spef;
 pub mod topology;
 mod units;
 
+pub use hash::{content_hash, Fnv1a};
 pub use net::{CouplingCap, EdgeId, NodeId, NodeKind, RcEdge, RcNet, RcNetBuilder, RcNode};
 pub use path::WirePath;
 pub use units::{Farads, Ohms, Seconds, Volts};

@@ -1,0 +1,118 @@
+//! Property tests for the canonical content hash: insertion order must
+//! never matter, and every single-value perturbation must flip the hash.
+
+use proptest::prelude::*;
+use rcnet::{content_hash, Farads, Ohms, RcNet, RcNetBuilder};
+
+/// Splitmix64 — a tiny deterministic stream for structure generation so
+/// the test owns its randomness (the proptest shim only hands us seeds).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random tree net description: node names/kinds/caps + edges by name.
+struct Blueprint {
+    nodes: Vec<(String, u8, f64)>, // (name, 0=source 1=sink 2=internal, cap)
+    edges: Vec<(String, String, f64)>,
+    couplings: Vec<(String, String, f64)>,
+}
+
+fn blueprint(seed: u64) -> Blueprint {
+    let mut s = seed;
+    let n = 3 + (mix(&mut s) % 12) as usize;
+    let mut nodes = Vec::with_capacity(n);
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut couplings = Vec::new();
+    for i in 0..n {
+        let kind = if i == 0 {
+            0
+        } else if i == n - 1 || mix(&mut s).is_multiple_of(3) {
+            1
+        } else {
+            2
+        };
+        let cap = 1e-16 + (mix(&mut s) % 1000) as f64 * 1e-17;
+        nodes.push((format!("nd{i}"), kind, cap));
+    }
+    for i in 1..n {
+        let parent = (mix(&mut s) % i as u64) as usize;
+        let res = 1.0 + (mix(&mut s) % 500) as f64 * 0.1;
+        edges.push((format!("nd{parent}"), format!("nd{i}"), res));
+    }
+    if mix(&mut s).is_multiple_of(2) {
+        let victim = (mix(&mut s) % n as u64) as usize;
+        couplings.push((format!("nd{victim}"), "agg:x".to_string(), 0.3e-15));
+    }
+    Blueprint { nodes, edges, couplings }
+}
+
+/// Materializes a blueprint, permuting node/edge insertion order by `perm`.
+fn build(bp: &Blueprint, perm: u64) -> RcNet {
+    let mut order: Vec<usize> = (0..bp.nodes.len()).collect();
+    let mut s = perm;
+    for i in (1..order.len()).rev() {
+        order.swap(i, (mix(&mut s) % (i as u64 + 1)) as usize);
+    }
+    let mut b = RcNetBuilder::new("bp");
+    for &i in &order {
+        let (name, kind, cap) = &bp.nodes[i];
+        match kind {
+            0 => b.source(name.clone(), Farads(*cap)),
+            1 => b.sink(name.clone(), Farads(*cap)),
+            _ => b.internal(name.clone(), Farads(*cap)),
+        };
+    }
+    let mut eorder: Vec<usize> = (0..bp.edges.len()).collect();
+    for i in (1..eorder.len()).rev() {
+        eorder.swap(i, (mix(&mut s) % (i as u64 + 1)) as usize);
+    }
+    for &i in &eorder {
+        let (a, bn, res) = &bp.edges[i];
+        let (a, bn) = (b.node_by_name(a).unwrap(), b.node_by_name(bn).unwrap());
+        // Endpoint order is electrically meaningless; flip it with the perm.
+        if mix(&mut s).is_multiple_of(2) {
+            b.resistor(a, bn, Ohms(*res));
+        } else {
+            b.resistor(bn, a, Ohms(*res));
+        }
+    }
+    for (victim, agg, cap) in &bp.couplings {
+        let v = b.node_by_name(victim).unwrap();
+        b.coupling(v, agg.clone(), Farads(*cap));
+    }
+    b.build().expect("blueprint trees are always valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_is_insertion_order_invariant(seed in 0u64..100_000, p1 in any::<u64>(), p2 in any::<u64>()) {
+        let bp = blueprint(seed);
+        prop_assert_eq!(content_hash(&build(&bp, p1)), content_hash(&build(&bp, p2)));
+    }
+
+    #[test]
+    fn any_single_value_change_flips_the_hash(seed in 0u64..100_000, which in any::<u64>()) {
+        let bp = blueprint(seed);
+        let base = content_hash(&build(&bp, 1));
+        let mut bp2 = Blueprint {
+            nodes: bp.nodes.clone(),
+            edges: bp.edges.clone(),
+            couplings: bp.couplings.clone(),
+        };
+        // Perturb exactly one value, chosen by `which`.
+        let n_targets = bp2.nodes.len() + bp2.edges.len();
+        let t = (which % n_targets as u64) as usize;
+        if t < bp2.nodes.len() {
+            bp2.nodes[t].2 *= 1.0 + 1e-9;
+        } else {
+            bp2.edges[t - bp2.nodes.len()].2 *= 1.0 + 1e-9;
+        }
+        prop_assert_ne!(content_hash(&build(&bp2, 1)), base);
+    }
+}

@@ -9,12 +9,18 @@
 //!
 //! # closed-loop against an already-running server (single run)
 //! cargo run -p serve --release --bin loadgen -- --url 127.0.0.1:8080
+//!
+//! # additionally measure the incremental ECO session path
+//! cargo run -p serve --release --bin loadgen -- --eco
 //! ```
 //!
 //! Closed-loop mode: each connection sends the next request the moment
 //! the previous response arrives (measures capacity). Fixed-rate mode:
 //! each connection paces requests at `rate / connections` per second
-//! (measures latency under a target offered load).
+//! (measures latency under a target offered load). With `--eco` the
+//! report additionally gains an incremental-traffic row: resident
+//! design sessions driven closed-loop with single-edit ECO batches
+//! (edit, re-time, read — the optimizer-in-the-loop shape).
 
 use rcnet::spef::SpefHeader;
 use serve::{Client, ServeConfig, Server};
@@ -30,6 +36,9 @@ struct Args {
     nets_per_request: usize,
     out: String,
     traces_out: Option<String>,
+    /// Additionally drive the incremental ECO session endpoints and
+    /// add the `eco` row to the report.
+    eco: bool,
 }
 
 impl Default for Args {
@@ -43,6 +52,7 @@ impl Default for Args {
             nets_per_request: 4,
             out: "BENCH_serve.json".into(),
             traces_out: None,
+            eco: false,
         }
     }
 }
@@ -91,6 +101,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--out" => args.out = need(&mut argv, "--out")?,
             "--traces-out" => args.traces_out = Some(need(&mut argv, "--traces-out")?),
+            "--eco" => args.eco = true,
             "--help" | "-h" => {
                 println!(
                     "loadgen: benchmark driver for the serve crate\n\
@@ -101,7 +112,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \n  --workers-sweep A,B    in-process worker counts to sweep (default 1,8)\
                      \n  --nets-per-request N   nets per predict request (default 4)\
                      \n  --out PATH             result file (default BENCH_serve.json)\
-                     \n  --traces-out PATH      dump sampled request traces as JSONL (for obs-trace)"
+                     \n  --traces-out PATH      dump sampled request traces as JSONL (for obs-trace)\
+                     \n  --eco                  also drive incremental ECO sessions (adds an `eco` row)"
                 );
                 std::process::exit(0);
             }
@@ -212,7 +224,7 @@ impl RunResult {
 fn trace_from_json(t: &serve::json::Json) -> Option<obs::TraceRecord> {
     let trace_id = obs::TraceId::parse(t.get("trace_id")?.as_str()?)?;
     let stages_obj = t.get("stages")?;
-    let mut stages = [0.0f64; 6];
+    let mut stages = [0.0f64; obs::trace::STAGE_COUNT];
     for stage in obs::Stage::ALL {
         stages[stage.index()] = stages_obj.get(stage.name())?.as_f64()? / 1e3;
     }
@@ -316,6 +328,195 @@ fn drive(addr: SocketAddr, bodies: &[String], args: &Args, workers: Option<usize
     }
 }
 
+/// One incremental-traffic (ECO session) run.
+struct EcoRun {
+    ok: u64,
+    errors: u64,
+    elapsed: Duration,
+    /// Sorted per-edit round-trip latencies, seconds.
+    latencies: Vec<f64>,
+    sessions: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+impl EcoRun {
+    fn edits_per_s(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.latencies.len() as f64 - 1.0) * p / 100.0).round() as usize;
+        self.latencies[idx.min(self.latencies.len() - 1)]
+    }
+}
+
+/// Drives the session endpoints: each connection owns one resident
+/// design session and streams single-edit ECO batches at it closed-loop
+/// (the realistic optimizer-in-the-loop shape: edit, re-time, read).
+fn drive_eco(addr: SocketAddr, args: &Args) -> EcoRun {
+    use serve::json::Json;
+    let conns = args.connections.clamp(1, 8);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(conns));
+    let duration = args.duration;
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+                let sid = format!("lg_eco_{c}");
+                let create = format!(
+                    "{{\"name\":\"{sid}\",\"netgen\":{{\"design\":\"PCI_BRIDGE\",\
+                     \"scale\":0.02,\"seed\":{seed}}}}}",
+                    seed = c + 1
+                );
+                let Ok(r) = client.request("POST", "/v1/session", Some(&create)) else {
+                    barrier.wait();
+                    return (0u64, 1u64, Vec::new());
+                };
+                if r.status != 201 {
+                    eprintln!("loadgen: eco session create failed: {}", r.body);
+                    barrier.wait();
+                    return (0, 1, Vec::new());
+                }
+                let (net, sink) = match serve::json::parse(&r.body).ok().and_then(|v| {
+                    let c = v.get("timing")?.get("critical")?.clone();
+                    Some((
+                        c.get("net")?.as_str()?.to_string(),
+                        c.get("sink")?.as_str()?.to_string(),
+                    ))
+                }) {
+                    Some(pair) => pair,
+                    None => {
+                        barrier.wait();
+                        return (0, 1, Vec::new());
+                    }
+                };
+                // A small cyclic pool of edit bodies: repeated contexts
+                // let the prediction cache show its hit rate.
+                let bodies: Vec<String> = (0..16)
+                    .map(|i| {
+                        let mut b = String::from("{\"edits\":[{\"op\":\"set_sink_load\",\"net\":");
+                        obs::json::push_string(&mut b, &net);
+                        b.push_str(",\"sink\":");
+                        obs::json::push_string(&mut b, &sink);
+                        b.push_str(&format!(",\"ceff_ff\":{}}}]}}", 1.0 + i as f64 * 0.25));
+                        b
+                    })
+                    .collect();
+                let path = format!("/v1/session/{sid}/eco");
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                let mut ok = 0u64;
+                let mut errors = 0u64;
+                let mut latencies = Vec::with_capacity(4096);
+                let mut i = c;
+                while Instant::now() < deadline {
+                    let body = &bodies[i % bodies.len()];
+                    i += 1;
+                    let sent = Instant::now();
+                    match client.request("POST", &path, Some(body)) {
+                        Ok(r) if r.status == 200 => {
+                            ok += 1;
+                            latencies.push(sent.elapsed().as_secs_f64());
+                        }
+                        Ok(r) => {
+                            errors += 1;
+                            if errors == 1 {
+                                eprintln!("loadgen: eco edit failed ({}): {}", r.status, r.body);
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                    // Read back timing every few edits, as an optimizer would.
+                    if i % 8 == 0 {
+                        let _ = client.request("GET", &format!("/v1/session/{sid}/timing"), None);
+                    }
+                }
+                (ok, errors, latencies)
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for h in handles {
+        let (o, e, l) = h.join().expect("eco connection thread panicked");
+        ok += o;
+        errors += e;
+        latencies.extend(l);
+    }
+    let elapsed = started.elapsed().min(duration.mul_f64(1.5)).max(duration);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    // Cache + session counters from the manager.
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+    let (sessions, cache_hits, cache_misses, cache_hit_rate) = client
+        .request("GET", "/v1/session", None)
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| serve::json::parse(&r.body).ok())
+        .map(|v| {
+            let n = match v.get("sessions") {
+                Some(Json::Arr(ids)) => ids.len(),
+                _ => 0,
+            };
+            let cache = v.get("cache").cloned().unwrap_or(Json::Null);
+            (
+                n,
+                cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+                cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+                cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            )
+        })
+        .unwrap_or((0, 0, 0, f64::NAN));
+    EcoRun {
+        ok,
+        errors,
+        elapsed,
+        latencies,
+        sessions,
+        cache_hits,
+        cache_misses,
+        cache_hit_rate,
+    }
+}
+
+fn push_eco(out: &mut String, e: &EcoRun) {
+    out.push_str("{\"edits_ok\":");
+    out.push_str(&e.ok.to_string());
+    out.push_str(",\"edits_err\":");
+    out.push_str(&e.errors.to_string());
+    out.push_str(",\"elapsed_s\":");
+    obs::json::push_f64(out, e.elapsed.as_secs_f64());
+    out.push_str(",\"edits_per_s\":");
+    obs::json::push_f64(out, e.edits_per_s());
+    out.push_str(",\"sessions\":");
+    out.push_str(&e.sessions.to_string());
+    out.push_str(",\"latency_ms\":{");
+    for (i, (name, p)) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        obs::json::push_f64(out, e.percentile(*p) * 1e3);
+    }
+    out.push_str("},\"cache\":{\"hits\":");
+    out.push_str(&e.cache_hits.to_string());
+    out.push_str(",\"misses\":");
+    out.push_str(&e.cache_misses.to_string());
+    out.push_str(",\"hit_rate\":");
+    obs::json::push_f64(out, e.cache_hit_rate);
+    out.push_str("}}");
+}
+
 fn push_run(out: &mut String, r: &RunResult) {
     out.push('{');
     if let Some(w) = r.workers {
@@ -374,9 +575,12 @@ fn host_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-fn render_report(args: &Args, runs: &[RunResult]) -> String {
+fn render_report(args: &Args, runs: &[RunResult], eco: Option<&EcoRun>) -> String {
     let mut out = String::from("{\"schema\":\"serve.loadgen.v1\",\"mode\":");
-    obs::json::push_string(&mut out, if args.rate.is_some() { "fixed-rate" } else { "closed-loop" });
+    obs::json::push_string(
+        &mut out,
+        if args.rate.is_some() { "fixed-rate" } else { "closed-loop" },
+    );
     out.push_str(",\"host_cores\":");
     out.push_str(&host_cores().to_string());
     if let Some(r) = args.rate {
@@ -397,6 +601,10 @@ fn render_report(args: &Args, runs: &[RunResult]) -> String {
         push_run(&mut out, r);
     }
     out.push(']');
+    if let Some(e) = eco {
+        out.push_str(",\"eco\":");
+        push_eco(&mut out, e);
+    }
     if runs.len() >= 2 {
         let (first, last) = (&runs[0], &runs[runs.len() - 1]);
         if let (Some(a), Some(b)) = (first.workers, last.workers) {
@@ -445,6 +653,13 @@ fn main() {
     };
     let bodies = request_pool(args.nets_per_request);
     let mut runs = Vec::new();
+    let mut eco_run: Option<EcoRun> = None;
+
+    // `--eco` is additive: the standard predict workload runs first
+    // (remote drive or in-process sweep), then the incremental-traffic
+    // row is measured, so one report carries both.
+    let mut eco_addr: Option<SocketAddr> = None;
+    let mut eco_server = None;
 
     if let Some(url) = &args.url {
         let addr: SocketAddr = match url.parse() {
@@ -458,6 +673,9 @@ fn main() {
         let run = drive(addr, &bodies, &args, None);
         summarize(&run);
         runs.push(run);
+        if args.eco {
+            eco_addr = Some(addr);
+        }
     } else {
         // In-process sweep: train once, save, and load the same
         // checkpoint into each server so every run serves identical
@@ -497,10 +715,43 @@ fn main() {
             runs.push(run);
             server.shutdown();
         }
+        if args.eco {
+            // One more server from the same checkpoint hosts the
+            // resident sessions, so the eco row is measured against
+            // the exact weights the sweep served.
+            let estimator =
+                gnntrans::WireTimingEstimator::load(&ckpt).expect("reload demo model");
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_capacity: 1024,
+                ..Default::default()
+            };
+            let server = Server::start(cfg, estimator, "loadgen-eco").expect("start server");
+            eco_addr = Some(server.local_addr());
+            eco_server = Some(server);
+        }
         let _ = std::fs::remove_file(&ckpt);
     }
 
-    let report = render_report(&args, &runs);
+    if let Some(addr) = eco_addr {
+        eprintln!("loadgen: driving eco sessions at {addr} for {:?}", args.duration);
+        let run = drive_eco(addr, &args);
+        eprintln!(
+            "loadgen: eco: {:.1} edits/s ({} ok, {} err), p50 {:.2} ms, cache hit rate {:.1}%",
+            run.edits_per_s(),
+            run.ok,
+            run.errors,
+            run.percentile(50.0) * 1e3,
+            run.cache_hit_rate * 100.0,
+        );
+        eco_run = Some(run);
+    }
+    if let Some(server) = eco_server {
+        server.shutdown();
+    }
+
+    let report = render_report(&args, &runs, eco_run.as_ref());
     // Validate our own emission before writing.
     if let Err(e) = serve::json::parse(&report) {
         eprintln!("loadgen: BUG: report is not valid JSON: {e}");
@@ -545,6 +796,12 @@ fn main() {
                  compute-bound, so parallel speedup requires >= {top} cores; \
                  this run validates correctness under concurrency, not scaling"
             );
+        }
+    }
+    if let Some(e) = &eco_run {
+        if e.ok == 0 {
+            eprintln!("loadgen: FAIL: no successful eco edits (errors: {})", e.errors);
+            std::process::exit(1);
         }
     }
     let total_errors: u64 = runs.iter().map(|r| r.errors).sum();

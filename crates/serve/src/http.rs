@@ -192,9 +192,11 @@ pub fn read_request(
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -236,11 +238,20 @@ impl Response {
         }
     }
 
-    /// A JSON error response with a `{"error": ...}` body.
+    /// A JSON error response. Every non-2xx body the service emits has
+    /// the same envelope, so clients can always machine-read failures:
+    ///
+    /// ```json
+    /// {"error":{"code":404,"status":"Not Found","message":"..."}}
+    /// ```
     pub fn error(status: u16, message: &str) -> Self {
-        let mut body = String::from("{\"error\":");
+        let mut body = String::from("{\"error\":{\"code\":");
+        body.push_str(&status.to_string());
+        body.push_str(",\"status\":");
+        obs::json::push_string(&mut body, reason(status));
+        body.push_str(",\"message\":");
         obs::json::push_string(&mut body, message);
-        body.push('}');
+        body.push_str("}}");
         Response::json(status, body)
     }
 

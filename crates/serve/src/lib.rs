@@ -13,9 +13,15 @@
 //! - `GET /v1/traces` — recent per-request stage-breakdown traces
 //!   (`?n=K&min_ms=X`). Every response carries an `x-trace-id` header
 //!   (generated, or honored from the request).
+//! - `POST /v1/session` — load a design into a resident ECO session;
+//!   `POST /v1/session/{id}/eco` applies edit batches and re-times only
+//!   the dirty cone; `GET /v1/session/{id}/timing`,
+//!   `POST /v1/session/{id}/rollback` and `DELETE /v1/session/{id}`
+//!   complete the lifecycle (see the `eco` crate).
 //! - `POST /v1/model/reload` — atomic hot-swap to a new checkpoint,
 //!   canary-validated first; in-flight requests finish on the old
-//!   weights.
+//!   weights. A successful swap also invalidates the shared ECO
+//!   prediction cache.
 //! - `POST /admin/shutdown` — flag a graceful drain.
 //!
 //! Load-shedding is explicit: a bounded queue rejects overflow with
@@ -28,6 +34,7 @@ pub mod json;
 pub mod model;
 pub mod queue;
 pub mod server;
+pub(crate) mod session_api;
 pub mod trace;
 
 pub use client::{Client, ClientResponse};

@@ -52,6 +52,14 @@ pub struct ServeConfig {
     /// Requests slower than this emit a structured warn event with
     /// their stage breakdown (and count into `serve.trace.slow`).
     pub slow_request: Duration,
+    /// Most nets accepted in one design session.
+    pub max_session_nets: usize,
+    /// Most edits accepted in one `POST /v1/session/{id}/eco` batch.
+    pub max_edits_per_request: usize,
+    /// Byte budget across resident design sessions (LRU-evicted past it).
+    pub session_byte_budget: usize,
+    /// Byte budget of the shared ECO prediction cache.
+    pub session_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +76,10 @@ impl Default for ServeConfig {
             max_nets_per_request: 512,
             idle_timeout: Duration::from_secs(30),
             slow_request: Duration::from_millis(250),
+            max_session_nets: 20_000,
+            max_edits_per_request: 64,
+            session_byte_budget: 256 << 20,
+            session_cache_bytes: 64 << 20,
         }
     }
 }
@@ -92,9 +104,11 @@ struct PredictJob {
     trace: RequestTrace,
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    slot: ModelSlot,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) slot: ModelSlot,
+    /// Live ECO design sessions + their shared prediction cache.
+    pub(crate) sessions: eco::SessionManager,
     queue: BoundedQueue<PredictJob>,
     shutdown: AtomicBool,
     started: Instant,
@@ -129,6 +143,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity, obs::gauge("serve.queue.depth")),
+            sessions: eco::SessionManager::new(cfg.session_byte_budget, cfg.session_cache_bytes),
             cfg,
             slot,
             shutdown: AtomicBool::new(false),
@@ -284,6 +299,9 @@ fn record_response(status: u16) {
 }
 
 fn route(request: &Request, shared: &Arc<Shared>, trace: &RequestTrace) -> Response {
+    if let Some(response) = crate::session_api::route(request, shared, trace) {
+        return response;
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(request),
@@ -381,6 +399,11 @@ fn reload(request: &Request, shared: &Arc<Shared>) -> Response {
     };
     match shared.slot.reload_from(path) {
         Ok(model) => {
+            // New weights invalidate every cached ECO prediction. The
+            // generation is part of the cache key, so this is about
+            // reclaiming bytes dead to the old generation, not
+            // correctness — but both properties are load-bearing.
+            shared.sessions.invalidate_prediction_cache();
             let mut out = String::from("{\"reloaded\":true,\"generation\":");
             out.push_str(&model.generation.to_string());
             out.push_str(",\"source\":");

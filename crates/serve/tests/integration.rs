@@ -470,3 +470,237 @@ fn keep_alive_serves_many_requests_on_one_connection() {
     }
     server.shutdown();
 }
+
+/// Every non-2xx response — malformed method, path, body, or an
+/// oversized payload — carries the same machine-readable envelope:
+/// `{"error":{"code":N,"status":"...","message":"..."}}`.
+#[test]
+fn every_error_response_carries_the_structured_envelope() {
+    let server = test_server_with(|cfg| {
+        cfg.workers = 1;
+        cfg.max_body_bytes = 512;
+    });
+    let mut client = Client::new(server.local_addr());
+    let cases: Vec<(&str, &str, Option<String>, u16)> = vec![
+        ("GET", "/no/such/path", None, 404),
+        ("PATCH", "/healthz", None, 405),
+        ("POST", "/v1/predict", Some("{not json".into()), 400),
+        ("POST", "/v1/predict", Some("{}".into()), 400),
+        ("POST", "/v1/predict", Some(format!("{{\"pad\":\"{}\"}}", "x".repeat(1024))), 413),
+        ("GET", "/metrics?format=xml", None, 400),
+        ("POST", "/v1/model/reload", Some("{}".into()), 400),
+        ("GET", "/v1/session/ghost/timing", None, 404),
+        ("POST", "/v1/session", Some("{}".into()), 400),
+        ("POST", "/v1/session/ghost/eco", Some("{\"edits\":[]}".into()), 404),
+        ("DELETE", "/v1/session/ghost", None, 404),
+    ];
+    for (method, path, body, want) in cases {
+        let r = client.request(method, path, body.as_deref()).unwrap();
+        assert_eq!(r.status, want, "{method} {path}: {}", r.body);
+        let v = json::parse(&r.body)
+            .unwrap_or_else(|e| panic!("{method} {path} body not JSON ({e}): {}", r.body));
+        let err = v.get("error").expect("error object");
+        assert_eq!(
+            err.get("code").and_then(Json::as_u64),
+            Some(want as u64),
+            "{method} {path}: {}",
+            r.body
+        );
+        assert!(err.get("status").and_then(Json::as_str).is_some());
+        assert!(
+            !err.get("message").and_then(Json::as_str).unwrap_or("").is_empty(),
+            "{method} {path} has no message: {}",
+            r.body
+        );
+    }
+    server.shutdown();
+}
+
+/// Full session lifecycle: create → timing → incremental ECO →
+/// per-net timing → rollback → delete.
+#[test]
+fn session_lifecycle_create_eco_rollback_delete() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+
+    let create = r#"{"name":"opt1","netgen":{"design":"PCI_BRIDGE","scale":0.02,"seed":7},"input_slew_ps":20}"#;
+    let r = client.request("POST", "/v1/session", Some(create)).unwrap();
+    assert_eq!(r.status, 201, "create: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(v.get("session").and_then(Json::as_str), Some("opt1"));
+    let timing = v.get("timing").expect("timing");
+    assert_eq!(timing.get("epoch").and_then(Json::as_u64), Some(0));
+    let critical = timing.get("critical").expect("critical");
+    let crit_net = critical.get("net").and_then(Json::as_str).unwrap().to_string();
+    let crit_sink = critical.get("sink").and_then(Json::as_str).unwrap().to_string();
+    let arrival0 = critical.get("arrival_ps").and_then(Json::as_f64).unwrap();
+    assert!(arrival0.is_finite() && arrival0 > 0.0);
+
+    // The session shows up in the listing.
+    let r = client.request("GET", "/v1/session", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"opt1\""), "listing: {}", r.body);
+
+    // An incremental edit batch: only part of the design re-times.
+    let eco = format!(
+        "{{\"edits\":[{{\"op\":\"set_sink_load\",\"net\":{n},\"sink\":{s},\"ceff_ff\":4.5}}]}}",
+        n = {
+            let mut b = String::new();
+            obs::json::push_string(&mut b, &crit_net);
+            b
+        },
+        s = {
+            let mut b = String::new();
+            obs::json::push_string(&mut b, &crit_sink);
+            b
+        },
+    );
+    let r = client
+        .request("POST", "/v1/session/opt1/eco", Some(&eco))
+        .unwrap();
+    assert_eq!(r.status, 200, "eco: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    let report = v.get("report").expect("report");
+    assert_eq!(report.get("epoch").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("full_retime").and_then(Json::as_bool), Some(false));
+    let retimed = report.get("nets_retimed").and_then(Json::as_u64).unwrap();
+    let total = v
+        .get("timing")
+        .and_then(|t| t.get("nets"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        retimed < total,
+        "an incremental edit re-timed the whole design ({retimed}/{total})"
+    );
+
+    // Per-net timing rows for the edited net.
+    let r = client
+        .request("GET", &format!("/v1/session/opt1/timing?net={crit_net}"), None)
+        .unwrap();
+    assert_eq!(r.status, 200, "net timing: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    let Some(Json::Arr(sinks)) = v.get("sinks").cloned() else {
+        panic!("no sinks array: {}", r.body)
+    };
+    assert!(!sinks.is_empty());
+
+    // Unknown edits are machine-readable 400s that leave state intact.
+    let r = client
+        .request(
+            "POST",
+            "/v1/session/opt1/eco",
+            Some("{\"edits\":[{\"op\":\"resize_driver\",\"net\":\"ghost\",\"cell\":\"BUF_X4\"}]}"),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400, "bad eco: {}", r.body);
+
+    // Rollback to the pre-edit epoch restores the original arrival.
+    let r = client
+        .request("POST", "/v1/session/opt1/rollback", Some("{\"epoch\":0}"))
+        .unwrap();
+    assert_eq!(r.status, 200, "rollback: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    let timing = v.get("timing").expect("timing");
+    assert_eq!(timing.get("epoch").and_then(Json::as_u64), Some(0));
+    let back = timing
+        .get("critical")
+        .and_then(|c| c.get("arrival_ps"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!((back - arrival0).abs() < 1e-6, "rollback arrival {back} != {arrival0}");
+
+    // Rolling back to a never-snapshotted epoch is a 409.
+    let r = client
+        .request("POST", "/v1/session/opt1/rollback", Some("{\"epoch\":42}"))
+        .unwrap();
+    assert_eq!(r.status, 409, "rollback conflict: {}", r.body);
+
+    let r = client.request("DELETE", "/v1/session/opt1", None).unwrap();
+    assert_eq!(r.status, 200);
+    let r = client.request("GET", "/v1/session/opt1/timing", None).unwrap();
+    assert_eq!(r.status, 404);
+    server.shutdown();
+}
+
+/// A model hot-reload must never let a session serve predictions cached
+/// from the previous weights: the same edit after the reload re-times
+/// under the new generation (full re-time) and reports it.
+#[test]
+fn hot_reload_invalidates_session_prediction_cache() {
+    let server = test_server(1);
+    let mut client = Client::new(server.local_addr());
+    let ckpt = std::env::temp_dir().join(format!(
+        "serve_integration_eco_reload_{}.bin",
+        std::process::id()
+    ));
+    // Different seed/shape → genuinely different weights.
+    demo_model(23, 10, 8).save(&ckpt).unwrap();
+
+    let create = r#"{"name":"eco","netgen":{"design":"DMA","scale":0.02,"seed":3}}"#;
+    let r = client.request("POST", "/v1/session", Some(create)).unwrap();
+    assert_eq!(r.status, 201, "create: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    let crit = v.get("timing").and_then(|t| t.get("critical")).expect("critical");
+    let net = crit.get("net").and_then(Json::as_str).unwrap().to_string();
+    let sink = crit.get("sink").and_then(Json::as_str).unwrap().to_string();
+
+    let eco = format!(
+        "{{\"edits\":[{{\"op\":\"set_sink_load\",\"net\":\"{net}\",\"sink\":\"{sink}\",\"ceff_ff\":3.0}}]}}"
+    );
+    let r = client.request("POST", "/v1/session/eco/eco", Some(&eco)).unwrap();
+    assert_eq!(r.status, 200, "eco: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    assert_eq!(
+        v.get("report").and_then(|x| x.get("model_generation")).and_then(Json::as_u64),
+        Some(1)
+    );
+    let arrival_gen1 = v
+        .get("timing")
+        .and_then(|t| t.get("critical"))
+        .and_then(|c| c.get("arrival_ps"))
+        .and_then(Json::as_f64)
+        .unwrap();
+
+    // Back to epoch 0, then swap the model.
+    let r = client
+        .request("POST", "/v1/session/eco/rollback", Some("{\"epoch\":0}"))
+        .unwrap();
+    assert_eq!(r.status, 200, "rollback: {}", r.body);
+    let reload_body = {
+        let mut b = String::from("{\"path\":");
+        obs::json::push_string(&mut b, &ckpt.to_string_lossy());
+        b.push('}');
+        b
+    };
+    let r = client
+        .request("POST", "/v1/model/reload", Some(&reload_body))
+        .unwrap();
+    assert_eq!(r.status, 200, "reload: {}", r.body);
+
+    // The same edit again: the generation change escalates to a full
+    // re-time under the new weights — and the number actually moves.
+    let r = client.request("POST", "/v1/session/eco/eco", Some(&eco)).unwrap();
+    assert_eq!(r.status, 200, "eco after reload: {}", r.body);
+    let v = json::parse(&r.body).unwrap();
+    let report = v.get("report").expect("report");
+    assert_eq!(report.get("model_generation").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        report.get("full_retime").and_then(Json::as_bool),
+        Some(true),
+        "generation change must escalate to a full re-time"
+    );
+    let arrival_gen2 = v
+        .get("timing")
+        .and_then(|t| t.get("critical"))
+        .and_then(|c| c.get("arrival_ps"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        (arrival_gen2 - arrival_gen1).abs() > 1e-9,
+        "timing identical across a weight swap — stale predictions served? \
+         gen1={arrival_gen1} gen2={arrival_gen2}"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+    server.shutdown();
+}

@@ -211,30 +211,10 @@ impl Netlist {
         }
         for gid in order {
             let gate = &self.gates[gid.0];
-            let out_net = &self.nets[gate.output.0];
-            let load = out_net.rc.total_cap() + out_net.rc.total_coupling_cap();
-            // Worst (max) arrival over input pins.
-            let mut best: Option<(Seconds, Seconds)> = None;
-            for &in_net in &gate.inputs {
-                let nt = timing[in_net.0].as_ref().ok_or_else(|| {
-                    StaError::BadNetlist(format!("net {in_net:?} timed before its driver"))
-                })?;
-                // Which sink of in_net feeds this gate?
-                for (pos, fo) in self.nets[in_net.0].fanout.iter().enumerate() {
-                    if *fo == Some(gid) {
-                        let (at, slew) = nt.at_sinks[pos];
-                        let (gd, out_slew) = gate.cell.arc().eval(slew, load);
-                        let cand = (at + gd, out_slew);
-                        if best.is_none_or(|b| cand.0 > b.0) {
-                            best = Some(cand);
-                        }
-                    }
-                }
-            }
-            let at_driver = best.ok_or_else(|| {
-                StaError::BadNetlist(format!("gate {gid:?} has no connected inputs"))
+            let at_driver = self.gate_output_arrival(gid, |net| {
+                timing[net.0].as_ref().map(|nt| nt.at_sinks.as_slice())
             })?;
-            timing[gate.output.0] = Some(compute_net(out_net, at_driver)?);
+            timing[gate.output.0] = Some(compute_net(&self.nets[gate.output.0], at_driver)?);
         }
         timing
             .into_iter()
@@ -243,6 +223,189 @@ impl Netlist {
                 t.ok_or_else(|| StaError::BadNetlist(format!("net {i} unreachable from inputs")))
             })
             .collect()
+    }
+
+    /// Arrival time and slew at `gate`'s output (driver) pin: the max
+    /// over its connected input pins of `input arrival + NLDM delay`,
+    /// where the gate's load is its output net's total ground + coupling
+    /// capacitance. `sink_timing(net)` supplies each input net's
+    /// per-sink `(arrival, slew)` pairs (aligned with `rc.sinks()`);
+    /// returning `None` means that net is not timed yet.
+    ///
+    /// [`Netlist::propagate`] and the incremental ECO engine share this
+    /// so a dirty-cone re-time is arithmetically identical to a full one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] when an input net is untimed or
+    /// the gate has no connected inputs.
+    pub fn gate_output_arrival<'a, F>(
+        &self,
+        gid: GateId,
+        sink_timing: F,
+    ) -> Result<(Seconds, Seconds), StaError>
+    where
+        F: Fn(NetId) -> Option<&'a [(Seconds, Seconds)]>,
+    {
+        let gate = self
+            .gates
+            .get(gid.0)
+            .ok_or_else(|| StaError::BadNetlist(format!("no gate {gid:?}")))?;
+        let out_net = &self.nets[gate.output.0];
+        let load = out_net.rc.total_cap() + out_net.rc.total_coupling_cap();
+        let mut best: Option<(Seconds, Seconds)> = None;
+        for &in_net in &gate.inputs {
+            let at_sinks = sink_timing(in_net).ok_or_else(|| {
+                StaError::BadNetlist(format!("net {in_net:?} timed before its driver"))
+            })?;
+            // Which sink of in_net feeds this gate?
+            for (pos, fo) in self.nets[in_net.0].fanout.iter().enumerate() {
+                if *fo == Some(gid) {
+                    let (at, slew) = at_sinks[pos];
+                    let (gd, out_slew) = gate.cell.arc().eval(slew, load);
+                    let cand = (at + gd, out_slew);
+                    if best.is_none_or(|b| cand.0 > b.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best.ok_or_else(|| StaError::BadNetlist(format!("gate {gid:?} has no connected inputs")))
+    }
+
+    /// Replaces a net's parasitic RC network in place, returning the old
+    /// one (so an ECO can be rolled back). The replacement must preserve
+    /// the sink count — fanout pins are positional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] on an unknown net or a sink-count
+    /// mismatch.
+    pub fn replace_net_rc(&mut self, net: NetId, rc: RcNet) -> Result<RcNet, StaError> {
+        let ni = self
+            .nets
+            .get_mut(net.0)
+            .ok_or_else(|| StaError::BadNetlist(format!("no net {net:?}")))?;
+        if rc.sinks().len() != ni.fanout.len() {
+            return Err(StaError::BadNetlist(format!(
+                "net {net:?} replacement has {} sinks, existing fanout expects {}",
+                rc.sinks().len(),
+                ni.fanout.len()
+            )));
+        }
+        Ok(std::mem::replace(&mut ni.rc, rc))
+    }
+
+    /// Swaps a gate's library cell (driver resize ECO), returning the
+    /// old cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] on an unknown gate.
+    pub fn set_gate_cell(&mut self, gate: GateId, cell: Cell) -> Result<Cell, StaError> {
+        let g = self
+            .gates
+            .get_mut(gate.0)
+            .ok_or_else(|| StaError::BadNetlist(format!("no gate {gate:?}")))?;
+        Ok(std::mem::replace(&mut g.cell, cell))
+    }
+
+    /// All nets whose timing can depend on `start`'s: `start` itself plus
+    /// every net reachable downstream through fanout gates (the dirty
+    /// cone of an edit on `start`). Returned in discovery (BFS) order.
+    pub fn downstream_nets(&self, start: NetId) -> Vec<NetId> {
+        let mut seen = vec![false; self.nets.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut cone = Vec::new();
+        if start.0 >= self.nets.len() {
+            return cone;
+        }
+        seen[start.0] = true;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            cone.push(n);
+            for fo in self.nets[n.0].fanout.iter().flatten() {
+                let out = self.gates[fo.0].output;
+                if !seen[out.0] {
+                    seen[out.0] = true;
+                    queue.push_back(out);
+                }
+            }
+        }
+        cone
+    }
+
+    /// All nets in dependency order: primary inputs first, then gate
+    /// output nets following the gate topological order. Re-timing nets
+    /// in this order guarantees every net's driver inputs are ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] on cycles.
+    pub fn net_topo_order(&self) -> Result<Vec<NetId>, StaError> {
+        let mut order = Vec::with_capacity(self.nets.len());
+        order.extend_from_slice(&self.primary_inputs);
+        for gid in self.topo_order()? {
+            order.push(self.gates[gid.0].output);
+        }
+        Ok(order)
+    }
+
+    /// Inserts a buffer on one fanout pin of `net` (the buffer-insertion
+    /// ECO): the pin at `sink_pos` is rewired to go through a new `cell`
+    /// gate driving `stub_rc`, whose single sink takes over whatever the
+    /// original pin fed (a gate, or a primary output). Returns the new
+    /// gate and net ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::BadNetlist`] on an unknown net/pin or when
+    /// `stub_rc` does not have exactly one sink.
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        sink_pos: usize,
+        cell: Cell,
+        stub_rc: RcNet,
+    ) -> Result<(GateId, NetId), StaError> {
+        if stub_rc.sinks().len() != 1 {
+            return Err(StaError::BadNetlist(format!(
+                "buffer stub net must have exactly one sink, got {}",
+                stub_rc.sinks().len()
+            )));
+        }
+        let ni = self
+            .nets
+            .get_mut(net.0)
+            .ok_or_else(|| StaError::BadNetlist(format!("no net {net:?}")))?;
+        let slot = ni.fanout.get_mut(sink_pos).ok_or_else(|| {
+            StaError::BadNetlist(format!("net {net:?} has no sink position {sink_pos}"))
+        })?;
+        let gid = GateId(self.gates.len());
+        let downstream = slot.replace(gid);
+        let out_id = NetId(self.nets.len());
+        self.nets.push(NetInst {
+            rc: stub_rc,
+            driver: Some(gid),
+            fanout: vec![downstream],
+        });
+        self.gates.push(GateInst {
+            cell,
+            inputs: vec![net],
+            output: out_id,
+        });
+        if let Some(g) = downstream {
+            // The downstream gate now listens to the stub net instead.
+            // With multiple pins on `net` any one occurrence works: pin
+            // matching during propagation goes through fanout positions.
+            let inputs = &mut self.gates[g.0].inputs;
+            let pin = inputs
+                .iter()
+                .position(|&n| n == net)
+                .ok_or_else(|| StaError::BadNetlist(format!("gate {g:?} lost input {net:?}")))?;
+            inputs[pin] = out_id;
+        }
+        Ok((gid, out_id))
     }
 
     /// Exact number of primary-input→primary-output paths (pin-to-pin,
@@ -371,6 +534,99 @@ mod tests {
         let pi = nl.add_primary_input(net("pi", 1));
         let err = nl.add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 7)], net("a", 1));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn replace_net_rc_swaps_parasitics_and_checks_sinks() {
+        let mut nl = chain(2);
+        let old_cap = nl.nets()[1].rc.total_cap();
+        let fatter = {
+            let mut b = RcNetBuilder::new("n0");
+            let s = b.source("n0:z", Farads::from_ff(0.5));
+            let k = b.sink("n0:s0", Farads::from_ff(9.0));
+            b.resistor(s, k, Ohms(80.0));
+            b.build().unwrap()
+        };
+        let old = nl.replace_net_rc(NetId(1), fatter).unwrap();
+        assert_eq!(old.total_cap(), old_cap);
+        assert!(nl.nets()[1].rc.total_cap() > old_cap);
+        // Sink-count mismatch is rejected.
+        assert!(nl.replace_net_rc(NetId(1), net("two", 2)).is_err());
+        assert!(nl.replace_net_rc(NetId(99), net("x", 1)).is_err());
+    }
+
+    #[test]
+    fn set_gate_cell_resizes_driver() {
+        let lib = CellLibrary::builtin();
+        let mut nl = chain(2);
+        let old = nl
+            .set_gate_cell(GateId(0), lib.cell("BUF_X4").unwrap().clone())
+            .unwrap();
+        assert_eq!(old.name(), "BUF_X1");
+        assert_eq!(nl.gates()[0].cell.name(), "BUF_X4");
+        assert!(nl.set_gate_cell(GateId(9), old).is_err());
+    }
+
+    #[test]
+    fn downstream_cone_and_net_topo_order() {
+        // pi -> inv_a -> nand, pi -> inv_b -> nand (reconvergent).
+        let lib = CellLibrary::builtin();
+        let mut nl = Netlist::new();
+        let pi = nl.add_primary_input(net("pi", 2));
+        let (_, a) = nl
+            .add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 0)], net("a", 1))
+            .unwrap();
+        let (_, b) = nl
+            .add_gate(lib.cell("INV_X1").unwrap().clone(), &[(pi, 1)], net("b", 1))
+            .unwrap();
+        let (_, o) = nl
+            .add_gate(
+                lib.cell("NAND2_X1").unwrap().clone(),
+                &[(a, 0), (b, 0)],
+                net("o", 1),
+            )
+            .unwrap();
+        let cone = nl.downstream_nets(a);
+        assert_eq!(cone, vec![a, o]);
+        let full = nl.downstream_nets(pi);
+        assert_eq!(full.len(), 4);
+        let order = nl.net_topo_order().unwrap();
+        assert_eq!(order.len(), nl.nets().len());
+        let pos = |n: NetId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(pi) < pos(a) && pos(a) < pos(o) && pos(b) < pos(o));
+    }
+
+    #[test]
+    fn insert_buffer_preserves_connectivity_and_adds_delay() {
+        let lib = CellLibrary::builtin();
+        let slew = Seconds::from_ps(10.0);
+        let mut nl = chain(3);
+        let before = nl.propagate(&IdealWire, slew).unwrap();
+        let last_before = before.last().unwrap().at_driver.0;
+
+        let stub = {
+            let mut b = RcNetBuilder::new("stub");
+            let s = b.source("stub:z", Farads::from_ff(0.2));
+            let k = b.sink("stub:s0", Farads::from_ff(0.5));
+            b.resistor(s, k, Ohms(10.0));
+            b.build().unwrap()
+        };
+        let (gid, stub_net) = nl
+            .insert_buffer(NetId(1), 0, lib.cell("BUF_X2").unwrap().clone(), stub)
+            .unwrap();
+        // The buffered pin now feeds the buffer; the stub feeds the old gate.
+        assert_eq!(nl.nets()[1].fanout[0], Some(gid));
+        assert_eq!(nl.gates()[gid.0].output, stub_net);
+        let after = nl.propagate(&IdealWire, slew).unwrap();
+        assert_eq!(after.len(), nl.nets().len());
+        // The original terminal net is still timed, later than before.
+        assert!(after[3].at_driver.0 > last_before * 0.0 + before[3].at_driver.0);
+
+        // A stub with two sinks is rejected.
+        let bad = net("bad", 2);
+        assert!(nl
+            .insert_buffer(NetId(2), 0, lib.cell("BUF_X2").unwrap().clone(), bad)
+            .is_err());
     }
 
     #[test]

@@ -41,3 +41,10 @@ cargo run -q -p bench --release --bin rcsim -- --smoke \
 # fetch, and the stage-attribution report; fails if more than 5% of
 # request wall time is unattributed to a stage.
 ./target/release/obs-trace --smoke
+
+# Incremental ECO engine smoke: small designs, a random single-edit
+# stream through a warm session, then the correctness gate — the
+# incrementally-maintained timing must equal a cold full re-time of the
+# same final design to 1e-9 s.
+cargo run -q -p bench --release --bin eco -- --smoke \
+    --out target/BENCH_eco_smoke.json
