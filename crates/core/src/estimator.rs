@@ -3,10 +3,60 @@
 use crate::features::{NetContext, NODE_DIM, PATH_DIM};
 use crate::scaler::Scaler;
 use crate::{CoreError, Dataset};
+use gnn::infer::{InferenceModel, PackedBatch};
 use gnn::models::{GnnTrans, GnnTransConfig, GraphModel};
 use gnn::train::{train, TrainConfig, TrainReport};
+use gnn::GraphBatch;
 use rcnet::{NodeId, RcNet, Seconds};
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
 use tensor::{Mat, ParamSet};
+
+/// Node-row budget per packed chunk: large enough that the shared
+/// projections run as GEMM-friendly tall matrices, small enough that a
+/// chunk's attention score buffers stay cache-resident.
+const PACK_MAX_NODES: usize = 2048;
+
+/// Graph-count cap per packed chunk.
+const PACK_MAX_GRAPHS: usize = 64;
+
+thread_local! {
+    /// Per-thread buffer arena for tape-free forwards. Thread-local so
+    /// serve workers and `par` lanes each reuse their own warm pool
+    /// without locking.
+    static ARENA: RefCell<gnn::infer::Arena> = RefCell::new(gnn::infer::Arena::new());
+}
+
+/// Which forward implementation [`WireTimingEstimator`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardBackend {
+    /// The compiled tape-free path (arena buffers, cross-net packing) —
+    /// the default.
+    TapeFree,
+    /// The autograd-tape forward, kept as the correctness oracle.
+    /// Selected by `GNNTRANS_TAPE_FORWARD=1` or
+    /// [`WireTimingEstimator::set_forward_backend`].
+    Tape,
+}
+
+impl ForwardBackend {
+    /// Resolves the backend from the `GNNTRANS_TAPE_FORWARD`
+    /// environment variable (`1`/`true` select the tape oracle).
+    pub fn from_env() -> Self {
+        let oracle = std::env::var("GNNTRANS_TAPE_FORWARD")
+            .map(|v| {
+                let t = v.trim();
+                t == "1" || t.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false);
+        if oracle {
+            ForwardBackend::Tape
+        } else {
+            ForwardBackend::TapeFree
+        }
+    }
+}
 
 /// The paper's three depth configurations (TABLE V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +258,11 @@ pub struct WireTimingEstimator {
     cfg: EstimatorConfig,
     model: GnnTrans,
     scalers: Option<Scalers>,
+    /// Tape-free executable compiled from `model`, rebuilt whenever the
+    /// weights change (train / fine-tune / load). Shared by clone —
+    /// the compiled form is immutable.
+    infer: Option<Arc<InferenceModel>>,
+    backend: ForwardBackend,
 }
 
 #[derive(Debug, Clone)]
@@ -224,7 +279,27 @@ impl WireTimingEstimator {
             cfg: cfg.clone(),
             model: GnnTrans::new(&cfg.to_model_config(), seed),
             scalers: None,
+            infer: None,
+            backend: ForwardBackend::from_env(),
         }
+    }
+
+    /// The active forward backend.
+    pub fn forward_backend(&self) -> ForwardBackend {
+        self.backend
+    }
+
+    /// Overrides the forward backend (tests and benchmarks comparing
+    /// the tape oracle against the tape-free path in-process).
+    pub fn set_forward_backend(&mut self, backend: ForwardBackend) {
+        self.backend = backend;
+    }
+
+    /// Recompiles the tape-free executable from the current weights.
+    /// Called after every weight change; until the first call the
+    /// estimator falls back to the tape forward.
+    fn rebuild_infer(&mut self) {
+        self.infer = Some(Arc::new(InferenceModel::compile(&self.model)));
     }
 
     /// The configuration.
@@ -265,6 +340,7 @@ impl WireTimingEstimator {
             path: data.path_scaler.clone(),
             target: data.target_scaler.clone(),
         });
+        self.rebuild_infer();
         Ok(report)
     }
 
@@ -317,6 +393,7 @@ impl WireTimingEstimator {
             path: data.path_scaler.clone(),
             target: data.target_scaler.clone(),
         });
+        self.rebuild_infer();
         Ok(report)
     }
 
@@ -365,6 +442,7 @@ impl WireTimingEstimator {
                 accum: 1,
             },
         )?;
+        self.rebuild_infer();
         Ok(report)
     }
 
@@ -379,6 +457,14 @@ impl WireTimingEstimator {
         net: &RcNet,
         ctx: &NetContext,
     ) -> Result<Vec<PathEstimate>, CoreError> {
+        let batch = self.prepare_batch(net, ctx)?;
+        let pred = self.forward_single(&batch);
+        self.estimates_from(net, pred)
+    }
+
+    /// Extracts, scales and clamps the features of one net into a
+    /// model-ready batch.
+    fn prepare_batch(&self, net: &RcNet, ctx: &NetContext) -> Result<GraphBatch, CoreError> {
         let sc = self.scalers()?;
         let wa = elmore::WireAnalysis::new(net)?;
         // Inference inputs far outside the training distribution are
@@ -396,11 +482,15 @@ impl WireTimingEstimator {
             .iter()
             .map(|f| clamp(sc.path.transform(f)))
             .collect();
-        let batch = gnn::GraphBatch::build(net, x, pf, None)?;
-        // Predictions are likewise clamped at ±10 sigma of the training
-        // targets before un-scaling.
-        let pred = clamp_pred(self.model.predict(&batch));
-        let raw = sc.target.inverse(&pred);
+        Ok(gnn::GraphBatch::build(net, x, pf, None)?)
+    }
+
+    /// Un-scales a raw `p x 2` prediction into per-path estimates.
+    fn estimates_from(&self, net: &RcNet, pred: Mat) -> Result<Vec<PathEstimate>, CoreError> {
+        let sc = self.scalers()?;
+        // Predictions are clamped at ±10 sigma of the training targets
+        // before un-scaling.
+        let raw = sc.target.inverse(&clamp_pred(pred));
         Ok(net
             .paths()
             .iter()
@@ -413,7 +503,109 @@ impl WireTimingEstimator {
             .collect())
     }
 
+    /// Forwards one batch: tape-free when compiled and selected, with
+    /// the tape forward as both oracle and fallback.
+    fn forward_single(&self, batch: &GraphBatch) -> Mat {
+        if let (ForwardBackend::TapeFree, Some(infer)) = (self.backend, &self.infer) {
+            match ARENA.with(|a| infer.forward_one(batch, &mut a.borrow_mut())) {
+                Ok(out) => return out,
+                Err(e) => {
+                    obs::counter("infer.fallbacks").inc();
+                    obs::event!(
+                        obs::Level::Warn,
+                        "infer",
+                        "tape-free forward failed; using tape fallback",
+                        error = &e.to_string(),
+                    );
+                }
+            }
+        }
+        self.tape_forward(batch)
+    }
+
+    /// The tape forward, timed into `infer.unpacked_seconds` so the
+    /// packed/unpacked comparison is visible in run reports.
+    fn tape_forward(&self, batch: &GraphBatch) -> Mat {
+        let t0 = Instant::now();
+        let out = self.model.predict(batch);
+        obs::histogram("infer.unpacked_seconds").observe(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Forwards many prepared batches, packing contiguous runs into
+    /// cross-net chunks on the tape-free path. Infallible by design: a
+    /// chunk whose pack or packed forward fails (e.g. one poisoned
+    /// graph) degrades to per-graph tape forwards for that chunk only —
+    /// sibling requests are never dropped.
+    fn forward_many(&self, batches: &[GraphBatch]) -> Vec<Mat> {
+        let compiled = match (self.backend, &self.infer) {
+            (ForwardBackend::TapeFree, Some(infer)) => infer,
+            _ => {
+                return par::par_map("predict.tape", batches, |b| self.tape_forward(b));
+            }
+        };
+        // Greedy contiguous chunking under node and graph budgets.
+        let mut chunks: Vec<&[GraphBatch]> = Vec::new();
+        let mut start = 0;
+        let mut nodes = 0;
+        for (i, b) in batches.iter().enumerate() {
+            let n = b.node_count();
+            if i > start && (nodes + n > PACK_MAX_NODES || i - start >= PACK_MAX_GRAPHS) {
+                chunks.push(&batches[start..i]);
+                start = i;
+                nodes = 0;
+            }
+            nodes += n;
+        }
+        if start < batches.len() {
+            chunks.push(&batches[start..]);
+        }
+        let per_chunk = par::par_map("predict.pack", &chunks, |chunk| {
+            self.forward_chunk(compiled, chunk)
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Packs one chunk and runs the batched forward, splitting the
+    /// packed output back into per-graph predictions; falls back to
+    /// per-graph tape forwards on any failure.
+    fn forward_chunk(&self, compiled: &InferenceModel, chunk: &[GraphBatch]) -> Vec<Mat> {
+        let refs: Vec<&GraphBatch> = chunk.iter().collect();
+        let packed_out = PackedBatch::pack(&refs).and_then(|packed| {
+            let out = ARENA.with(|a| compiled.forward_packed(&packed, &mut a.borrow_mut()))?;
+            Ok((0..packed.graph_count())
+                .map(|s| {
+                    let (p0, p1) = packed.path_range(s);
+                    let mut m = Mat::zeros(p1 - p0, 2);
+                    m.as_mut_slice()
+                        .copy_from_slice(&out.as_slice()[p0 * 2..p1 * 2]);
+                    m
+                })
+                .collect())
+        });
+        match packed_out {
+            Ok(outs) => outs,
+            Err(e) => {
+                obs::counter("infer.fallbacks").inc();
+                obs::event!(
+                    obs::Level::Warn,
+                    "infer",
+                    "packed forward failed; chunk degrades to tape",
+                    error = &e.to_string(),
+                    graphs = &chunk.len().to_string(),
+                );
+                chunk.iter().map(|b| self.tape_forward(b)).collect()
+            }
+        }
+    }
+
     /// Batch inference over many nets (the paper's 200 k-net use case).
+    ///
+    /// Feature extraction runs per net in parallel; on the tape-free
+    /// backend the forwards then run as packed cross-net chunks, which
+    /// is where the serve micro-batch and ECO dirty-cone throughput
+    /// comes from. Results (and the first-failure error) are identical
+    /// to calling [`WireTimingEstimator::predict_net`] in a loop.
     ///
     /// # Errors
     ///
@@ -422,11 +614,20 @@ impl WireTimingEstimator {
     where
         I: IntoIterator<Item = (&'a RcNet, &'a NetContext)>,
     {
-        // Per-net inference is independent; the in-order try_par_map
-        // keeps both the result order and the first-failing-net error
-        // identical to the serial loop for any `PAR_THREADS` setting.
+        // The in-order try_par_map keeps both the result order and the
+        // first-failing-net error identical to the serial loop for any
+        // `PAR_THREADS` setting.
         let pairs: Vec<(&RcNet, &NetContext)> = nets.into_iter().collect();
-        par::try_par_map("predict.net", &pairs, |&(net, ctx)| self.predict_net(net, ctx))
+        let batches =
+            par::try_par_map("predict.features", &pairs, |&(net, ctx)| {
+                self.prepare_batch(net, ctx)
+            })?;
+        let preds = self.forward_many(&batches);
+        pairs
+            .iter()
+            .zip(preds)
+            .map(|(&(net, _), pred)| self.estimates_from(net, pred))
+            .collect()
     }
 
     /// Parses a SPEF document and predicts every wire path of every net
@@ -443,21 +644,24 @@ impl WireTimingEstimator {
     pub fn predict_spef(&self, spef_text: &str) -> Result<Vec<NetPrediction>, CoreError> {
         let doc =
             rcnet::spef::parse(spef_text).map_err(|e| CoreError::BadInput(e.to_string()))?;
-        doc.nets
+        // One predict_many over the whole document so the nets share
+        // packed forward chunks; the lowest-index-error contract keeps
+        // failures identical to the per-net loop.
+        let ctxs: Vec<NetContext> = doc.nets.iter().map(NetContext::generic).collect();
+        let many = self.predict_many(doc.nets.iter().zip(ctxs.iter()))?;
+        Ok(doc
+            .nets
             .iter()
-            .map(|net| {
-                let ctx = NetContext::generic(net);
-                let estimates = self.predict_net(net, &ctx)?;
-                Ok(NetPrediction {
-                    sinks: estimates
-                        .iter()
-                        .map(|p| net.node(p.sink).name.clone())
-                        .collect(),
-                    net: net.name().to_string(),
-                    estimates,
-                })
+            .zip(many)
+            .map(|(net, estimates)| NetPrediction {
+                sinks: estimates
+                    .iter()
+                    .map(|p| net.node(p.sink).name.clone())
+                    .collect(),
+                net: net.name().to_string(),
+                estimates,
             })
-            .collect()
+            .collect())
     }
 
     /// Saves weights, scalers and configuration to a file.
@@ -549,6 +753,7 @@ impl WireTimingEstimator {
             *est.model.param_set_mut().get_mut(i) = loaded.get(i).clone();
         }
         est.scalers = Some(scalers);
+        est.rebuild_infer();
         Ok(est)
     }
 }
@@ -906,6 +1111,76 @@ mod tests {
             Err(CoreError::Checkpoint(_))
         ));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tape_free_backend_matches_tape_oracle() {
+        let train_nets = nets(10, 13);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+        assert_eq!(est.forward_backend(), ForwardBackend::TapeFree);
+
+        let probes = nets(6, 99);
+        let ctxs: Vec<NetContext> = probes.iter().map(|n| b.context_for(n)).collect();
+        let pairs: Vec<(&RcNet, &NetContext)> = probes.iter().zip(ctxs.iter()).collect();
+        let fast = est.predict_many(pairs.iter().copied()).unwrap();
+
+        // The oracle switch must reproduce the same estimates exactly:
+        // the tape-free ops mirror the tape's accumulation order.
+        let mut oracle = est.clone();
+        oracle.set_forward_backend(ForwardBackend::Tape);
+        let slow = oracle.predict_many(pairs.iter().copied()).unwrap();
+        assert_eq!(fast, slow);
+
+        // And packed predict_many equals the per-net loop.
+        for ((net, ctx), packed) in pairs.iter().zip(&fast) {
+            assert_eq!(&est.predict_net(net, ctx).unwrap(), packed);
+        }
+    }
+
+    #[test]
+    fn poisoned_compiled_model_falls_back_without_dropping_siblings() {
+        let train_nets = nets(10, 17);
+        let mut b = DatasetBuilder::new(1);
+        let ds = b.build(&train_nets).unwrap();
+        let mut est = WireTimingEstimator::new(&quick_cfg(), 7);
+        est.train(&ds).unwrap();
+
+        let probes = nets(5, 55);
+        let ctxs: Vec<NetContext> = probes.iter().map(|n| b.context_for(n)).collect();
+        let pairs: Vec<(&RcNet, &NetContext)> = probes.iter().zip(ctxs.iter()).collect();
+        let want = est.predict_many(pairs.iter().copied()).unwrap();
+
+        // Poison the compiled model: a stack built for a different node
+        // width makes every packed forward fail validation. The batch
+        // must degrade to the tape path and still answer every net.
+        let wrong = GnnTrans::new(
+            &GnnTransConfig {
+                node_dim: NODE_DIM + 1,
+                path_dim: PATH_DIM,
+                hidden: 8,
+                gnn_layers: 1,
+                attn_layers: 1,
+                heads: 2,
+                mlp_hidden: 8,
+                ..GnnTransConfig::default()
+            },
+            1,
+        );
+        let mut poisoned = est.clone();
+        poisoned.infer = Some(Arc::new(InferenceModel::compile(&wrong)));
+        let before = obs::counter("infer.fallbacks").get();
+        let got = poisoned.predict_many(pairs.iter().copied()).unwrap();
+        assert_eq!(got, want, "fallback must reproduce the tape estimates");
+        assert!(
+            obs::counter("infer.fallbacks").get() > before,
+            "fallback path must be observable"
+        );
+        // Single-net prediction degrades identically.
+        let single = poisoned.predict_net(&probes[0], &ctxs[0]).unwrap();
+        assert_eq!(single, want[0]);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod scaler;
 pub mod timers;
 
 pub use dataset::{Dataset, DatasetBuilder, Sample};
-pub use estimator::{EstimatorConfig, NetPrediction, PathEstimate, Plan, WireTimingEstimator};
+pub use estimator::{
+    EstimatorConfig, ForwardBackend, NetPrediction, PathEstimate, Plan, WireTimingEstimator,
+};
 pub use features::NetContext;
 
 use std::error::Error;

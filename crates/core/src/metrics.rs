@@ -94,12 +94,16 @@ pub fn evaluate_estimator(
     samples: &[Sample],
     nontree_only: bool,
 ) -> Result<EvalResult, CoreError> {
+    let selected: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| !(nontree_only && s.is_tree()))
+        .collect();
+    // One predict_many over the whole test set: on the tape-free
+    // backend the nets share packed forward chunks, so evaluation cost
+    // scales with total nodes rather than per-net dispatch.
+    let preds = est.predict_many(selected.iter().map(|s| (&s.net, &s.ctx)))?;
     let mut ev = Evaluator::new();
-    for s in samples {
-        if nontree_only && s.is_tree() {
-            continue;
-        }
-        let pred = est.predict_net(&s.net, &s.ctx)?;
+    for (s, pred) in selected.iter().zip(&preds) {
         for (i, p) in pred.iter().enumerate() {
             ev.push(
                 (

@@ -170,6 +170,17 @@ proptest! {
         b.full_retime(est, 1, &fresh).unwrap();
         assert_timing_agrees(&a, &b);
         prop_assert_eq!(a.epoch(), b.epoch());
+
+        // Cache keys are (net_hash, ctx_hash, generation) only — the
+        // forward backend / graph packing never leaks into them. Entries
+        // written by the tape-free path must therefore serve a warm
+        // re-time under the tape oracle backend with a 100% hit rate.
+        let mut oracle = est.clone();
+        oracle.set_forward_backend(gnntrans::ForwardBackend::Tape);
+        let warm = b.full_retime(&oracle, 1, &fresh).unwrap();
+        prop_assert_eq!(warm.cache_misses, 0, "packing perturbed cache keys");
+        prop_assert_eq!(warm.cache_hits, warm.nets_retimed as u64);
+        assert_timing_agrees(&a, &b);
     }
 }
 

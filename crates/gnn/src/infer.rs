@@ -1,0 +1,600 @@
+//! Tape-free batched inference: compiled GNNTrans + cross-net packing.
+//!
+//! Serving and ECO re-timing never backprop, yet [`GraphModel::predict`]
+//! runs the full autograd [`tensor::Tape`] and forwards one net at a
+//! time through 5–120-node matrices that starve the blocked GEMM
+//! kernels. This module provides the dedicated inference path:
+//!
+//! * [`InferenceModel`] — the GNNTrans layer stack compiled once from a
+//!   trained model into plain weight matrices, executed with the
+//!   forward-only ops of [`tensor::infer`] over a reusable
+//!   [`Arena`] (no tape nodes, no gradient buffers, allocation-free
+//!   once the arena is warm);
+//! * [`PackedBatch`] — K nets' node-feature matrices stacked into one
+//!   tall matrix with a segment/offset table, so the dense projections
+//!   (input, W1/W2, Q/K/V, W3, both MLP heads) run as a handful of
+//!   large GEMMs across all K graphs at once.
+//!
+//! # Packing layout and masking
+//!
+//! Node rows of graph `s` occupy rows `node_offsets[s]..node_offsets[s+1]`
+//! of the packed `x`; path rows likewise via `path_offsets`. Row-wise ops
+//! (bias, ReLU, softmax, layer norm) and per-row GEMMs are oblivious to
+//! the stacking. The two places where graphs must not mix are handled
+//! per segment on row windows of the tall matrix, which is equivalent to
+//! a block-diagonal operator without ever materializing the `N x N`
+//! block-diagonal matrix:
+//!
+//! * neighbor aggregation `A_s · X_s` (eq. 1) multiplies each graph's
+//!   own adjacency against its own row window;
+//! * attention scores `Q_s K_sᵀ` (eq. 2) are formed per segment, so the
+//!   softmax row only ever sees the graph's own nodes — exactly the
+//!   per-graph mask, with the `-inf` entries never computed at all.
+//!
+//! Because the blocked GEMM produces every output row with a per-row
+//! accumulator whose accumulation order is independent of the row's
+//! position and of the total row count, a net's prediction is
+//! **bit-identical** whether it is packed alone or with neighbors, and
+//! matches the tape forward (pinned by tests here and in
+//! `tensor::infer`).
+
+use crate::batch::GraphBatch;
+use crate::layers::{Linear, Mlp};
+use crate::models::{GnnTrans, GnnTransConfig, GraphModel};
+use crate::GnnError;
+use std::time::Instant;
+use tensor::infer::{self as ops};
+use tensor::{Mat, ParamSet};
+
+pub use tensor::infer::Arena;
+
+/// K graphs stacked for one batched forward pass.
+///
+/// Built by [`PackedBatch::pack`]; consumed by
+/// [`InferenceModel::forward_packed`]. Holds copies of the stacked node
+/// features, global per-path node indices, and stacked path features;
+/// adjacencies stay per-graph (block-diagonal structure is exploited,
+/// never materialized).
+#[derive(Debug, Clone)]
+pub struct PackedBatch {
+    /// `N x d_x` node features, graphs stacked top to bottom.
+    x: Mat,
+    /// Per-graph resistance-weighted adjacencies (eq. 1 aggregation).
+    adj_res: Vec<Mat>,
+    /// Per-graph mean-aggregation adjacencies (ablation path).
+    adj_mean: Vec<Mat>,
+    /// `node_offsets[s]` = first node row of graph `s`; last entry = N.
+    node_offsets: Vec<usize>,
+    /// `path_offsets[s]` = first path row of graph `s`; last entry = P.
+    path_offsets: Vec<usize>,
+    /// Per path (in global order): node indices into the packed `x`.
+    path_nodes: Vec<Vec<usize>>,
+    /// `P x d_h` stacked raw path features (zero-width when d_h = 0).
+    path_features: Mat,
+}
+
+impl PackedBatch {
+    /// Stacks `graphs` into one packed batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadBatch`] when `graphs` is empty, node or
+    /// path feature widths disagree across graphs, or a graph has no
+    /// paths or no nodes.
+    pub fn pack(graphs: &[&GraphBatch]) -> Result<Self, GnnError> {
+        let first = graphs
+            .first()
+            .ok_or_else(|| GnnError::BadBatch("cannot pack zero graphs".into()))?;
+        let node_dim = first.node_dim();
+        let path_dim = first.path_dim();
+        let mut node_offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut path_offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut total_nodes = 0usize;
+        let mut total_paths = 0usize;
+        for (i, g) in graphs.iter().enumerate() {
+            if g.node_count() == 0 {
+                return Err(GnnError::BadBatch(format!("graph {i} has no nodes")));
+            }
+            if g.path_count() == 0 {
+                return Err(GnnError::BadBatch(format!("graph {i} has no paths")));
+            }
+            if g.node_dim() != node_dim {
+                return Err(GnnError::BadBatch(format!(
+                    "graph {i} node dim {} != {node_dim}",
+                    g.node_dim()
+                )));
+            }
+            if g.path_dim() != path_dim {
+                return Err(GnnError::BadBatch(format!(
+                    "graph {i} path dim {} != {path_dim}",
+                    g.path_dim()
+                )));
+            }
+            node_offsets.push(total_nodes);
+            path_offsets.push(total_paths);
+            total_nodes += g.node_count();
+            total_paths += g.path_count();
+        }
+        node_offsets.push(total_nodes);
+        path_offsets.push(total_paths);
+
+        let mut x = Mat::zeros(total_nodes, node_dim);
+        let mut path_features = Mat::zeros(total_paths, path_dim);
+        let mut path_nodes = Vec::with_capacity(total_paths);
+        for (s, g) in graphs.iter().enumerate() {
+            let n0 = node_offsets[s];
+            for r in 0..g.node_count() {
+                x.as_mut_slice()[(n0 + r) * node_dim..(n0 + r + 1) * node_dim]
+                    .copy_from_slice(g.x.row(r));
+            }
+            for (j, p) in g.paths.iter().enumerate() {
+                if let Some(&idx) = p.nodes.iter().find(|&&idx| idx >= g.node_count()) {
+                    return Err(GnnError::BadBatch(format!(
+                        "graph {s} path {j} references node {idx} of {}",
+                        g.node_count()
+                    )));
+                }
+                path_nodes.push(p.nodes.iter().map(|&idx| n0 + idx).collect());
+                if path_dim > 0 {
+                    path_features.as_mut_slice()
+                        [(path_offsets[s] + j) * path_dim..(path_offsets[s] + j + 1) * path_dim]
+                        .copy_from_slice(p.features.row(0));
+                }
+            }
+        }
+
+        Ok(PackedBatch {
+            x,
+            adj_res: graphs.iter().map(|g| g.adj_res.clone()).collect(),
+            adj_mean: graphs.iter().map(|g| g.adj_mean.clone()).collect(),
+            node_offsets,
+            path_offsets,
+            path_nodes,
+            path_features,
+        })
+    }
+
+    /// Number of packed graphs.
+    pub fn graph_count(&self) -> usize {
+        self.adj_res.len()
+    }
+
+    /// Total node rows across all graphs.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Total path rows across all graphs.
+    pub fn path_count(&self) -> usize {
+        self.path_nodes.len()
+    }
+
+    /// Path-row range `[start, end)` of graph `s` in the packed output,
+    /// for slicing per-graph predictions back out.
+    pub fn path_range(&self, s: usize) -> (usize, usize) {
+        (self.path_offsets[s], self.path_offsets[s + 1])
+    }
+}
+
+/// A compiled affine layer: plain weight + bias matrices.
+#[derive(Debug, Clone)]
+struct Affine {
+    w: Mat,
+    b: Mat,
+}
+
+impl Affine {
+    fn compile(params: &ParamSet, l: &Linear) -> Self {
+        Affine {
+            w: params.get(l.w_id()).clone(),
+            b: params.get(l.b_id()).clone(),
+        }
+    }
+}
+
+/// One compiled eq.-(1) layer.
+#[derive(Debug, Clone)]
+struct SageWeights {
+    w1: Affine,
+    /// `W2` is applied without its bias, matching the tape forward.
+    w2: Mat,
+}
+
+/// One compiled eqs.-(2)–(3) layer.
+#[derive(Debug, Clone)]
+struct AttnWeights {
+    wq: Vec<Mat>,
+    wk: Vec<Mat>,
+    wv: Vec<Mat>,
+    w3: Affine,
+    head_dim: usize,
+    norm: bool,
+}
+
+/// The GNNTrans layer stack compiled into plain matrices for tape-free
+/// execution.
+///
+/// Compile once after training (or loading) with
+/// [`InferenceModel::compile`]; run with
+/// [`InferenceModel::forward_packed`] / [`InferenceModel::forward_one`].
+/// The struct is immutable and `Sync` — share it behind an `Arc` across
+/// serve workers, with one [`Arena`] per thread.
+#[derive(Debug, Clone)]
+pub struct InferenceModel {
+    cfg: GnnTransConfig,
+    input: Affine,
+    gnn: Vec<SageWeights>,
+    attn: Vec<AttnWeights>,
+    slew: Vec<Affine>,
+    delay: Vec<Affine>,
+}
+
+impl InferenceModel {
+    /// Snapshots `model`'s current parameters into an executable form.
+    pub fn compile(model: &GnnTrans) -> Self {
+        let params = model.param_set();
+        let gnn = model
+            .gnn_stack()
+            .iter()
+            .map(|l| SageWeights {
+                w1: Affine::compile(params, l.w1()),
+                w2: params.get(l.w2().w_id()).clone(),
+            })
+            .collect();
+        let attn = model
+            .attn_stack()
+            .iter()
+            .map(|l| AttnWeights {
+                wq: l.wq().iter().map(|p| params.get(p.w_id()).clone()).collect(),
+                wk: l.wk().iter().map(|p| params.get(p.w_id()).clone()).collect(),
+                wv: l.wv().iter().map(|p| params.get(p.w_id()).clone()).collect(),
+                w3: Affine::compile(params, l.w3()),
+                head_dim: l.head_dim(),
+                norm: l.norm(),
+            })
+            .collect();
+        let mlp = |m: &Mlp| m.layers().iter().map(|l| Affine::compile(params, l)).collect();
+        InferenceModel {
+            cfg: model.config().clone(),
+            input: Affine::compile(params, model.input_proj()),
+            gnn,
+            attn,
+            slew: mlp(model.slew_head()),
+            delay: mlp(model.delay_head()),
+        }
+    }
+
+    /// The compiled configuration.
+    pub fn config(&self) -> &GnnTransConfig {
+        &self.cfg
+    }
+
+    /// Runs the compiled stack over a packed batch, returning the
+    /// `P x 2` predictions (column 0 = slew, column 1 = delay) with path
+    /// rows in packed order — slice per graph with
+    /// [`PackedBatch::path_range`].
+    ///
+    /// Bit-identical to running the tape forward per graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadBatch`] when the packed feature widths do
+    /// not match the compiled configuration.
+    pub fn forward_packed(&self, packed: &PackedBatch, arena: &mut Arena) -> Result<Mat, GnnError> {
+        if packed.x.cols() != self.cfg.node_dim {
+            return Err(GnnError::BadBatch(format!(
+                "packed node dim {} != model node dim {}",
+                packed.x.cols(),
+                self.cfg.node_dim
+            )));
+        }
+        if self.cfg.path_features && packed.path_features.cols() != self.cfg.path_dim {
+            return Err(GnnError::BadBatch(format!(
+                "packed path dim {} != model path dim {}",
+                packed.path_features.cols(),
+                self.cfg.path_dim
+            )));
+        }
+        let started = Instant::now();
+        let n = packed.node_count();
+        let p = packed.path_count();
+        let hidden = self.cfg.hidden;
+        let adjs = if self.cfg.weighted_aggregation {
+            &packed.adj_res
+        } else {
+            &packed.adj_mean
+        };
+
+        // Input projection + ReLU.
+        let mut h = arena.take(n, hidden);
+        ops::matmul_into(&packed.x, &self.input.w, &mut h);
+        ops::add_bias_rows(&mut h, &self.input.b);
+        ops::relu_inplace(&mut h);
+
+        // L1 edge-weighted GNN layers (eq. 1): the two projections are
+        // one tall GEMM each; only A_s · X_s is per-segment.
+        let mut agg = arena.take(n, hidden);
+        let mut neigh = arena.take(n, hidden);
+        for layer in &self.gnn {
+            let mut self_term = arena.take(n, hidden);
+            ops::matmul_into(&h, &layer.w1.w, &mut self_term);
+            ops::add_bias_rows(&mut self_term, &layer.w1.b);
+            for (s, adj) in adjs.iter().enumerate() {
+                ops::matmul_seg_into(adj, &h, packed.node_offsets[s], &mut agg, packed.node_offsets[s]);
+            }
+            ops::matmul_into(&agg, &layer.w2, &mut neigh);
+            ops::add_assign(&mut self_term, &neigh);
+            ops::relu_inplace(&mut self_term);
+            arena.give(std::mem::replace(&mut h, self_term));
+        }
+        arena.give(agg);
+        arena.give(neigh);
+
+        // L2 self-attention layers (eqs. 2-3): Q/K/V/W3 are tall GEMMs;
+        // scores + softmax + weighted sum run per segment, which *is*
+        // the per-graph attention mask.
+        for layer in &self.attn {
+            let inner_buf;
+            let inner: &Mat = if layer.norm {
+                let mut buf = arena.take(n, hidden);
+                ops::layer_norm_rows_into(&h, 1e-5, &mut buf);
+                inner_buf = Some(buf);
+                inner_buf.as_ref().expect("just set")
+            } else {
+                inner_buf = None;
+                &h
+            };
+            let scale = 1.0 / (layer.head_dim as f32).sqrt();
+            let mut concat = arena.take(n, hidden);
+            let mut q = arena.take(n, layer.head_dim);
+            let mut key = arena.take(n, layer.head_dim);
+            let mut v = arena.take(n, layer.head_dim);
+            let mut head_out = arena.take(n, layer.head_dim);
+            for k in 0..layer.wq.len() {
+                ops::matmul_into(inner, &layer.wq[k], &mut q);
+                ops::matmul_into(inner, &layer.wk[k], &mut key);
+                ops::matmul_into(inner, &layer.wv[k], &mut v);
+                for s in 0..packed.graph_count() {
+                    let n0 = packed.node_offsets[s];
+                    let ns = packed.node_offsets[s + 1] - n0;
+                    let mut kt = arena.take(layer.head_dim, ns);
+                    let mut scores = arena.take(ns, ns);
+                    ops::transpose_rows_into(&key, n0, ns, &mut kt);
+                    ops::matmul_rows_into(&q, n0, ns, &kt, &mut scores, 0);
+                    ops::scale_inplace(&mut scores, scale);
+                    ops::softmax_rows_inplace(&mut scores);
+                    ops::matmul_seg_into(&scores, &v, n0, &mut head_out, n0);
+                    arena.give(kt);
+                    arena.give(scores);
+                }
+                ops::copy_cols(&mut concat, k * layer.head_dim, &head_out);
+            }
+            arena.give(q);
+            arena.give(key);
+            arena.give(v);
+            arena.give(head_out);
+            if let Some(buf) = inner_buf {
+                arena.give(buf);
+            }
+            let mut projected = arena.take(n, hidden);
+            ops::matmul_into(&concat, &layer.w3.w, &mut projected);
+            ops::add_bias_rows(&mut projected, &layer.w3.b);
+            arena.give(concat);
+            // Residual (eq. 3): x + projected.
+            ops::add_assign(&mut projected, &h);
+            arena.give(std::mem::replace(&mut h, projected));
+        }
+
+        // Pooling (eq. 4): mean node reps per path, concat path features.
+        let pooled_dim = hidden + if self.cfg.path_features { self.cfg.path_dim } else { 0 };
+        let mut f = arena.take(p, pooled_dim);
+        {
+            let mut pooled = arena.take(p, hidden);
+            for (j, nodes) in packed.path_nodes.iter().enumerate() {
+                ops::mean_rows_into(&h, nodes, &mut pooled, j);
+            }
+            ops::copy_cols(&mut f, 0, &pooled);
+            if self.cfg.path_features {
+                ops::copy_cols(&mut f, hidden, &packed.path_features);
+            }
+            arena.give(pooled);
+        }
+        arena.give(h);
+
+        // Eq. (5): slew head; eq. (6): delay head conditioned on slew.
+        let slew = self.run_mlp(&self.slew, &f, arena);
+        let mut delay_in = arena.take(p, pooled_dim + 1);
+        ops::copy_cols(&mut delay_in, 0, &f);
+        ops::copy_cols(&mut delay_in, pooled_dim, &slew);
+        arena.give(f);
+        let delay = self.run_mlp(&self.delay, &delay_in, arena);
+        arena.give(delay_in);
+
+        let mut out = Mat::zeros(p, 2);
+        ops::copy_cols(&mut out, 0, &slew);
+        ops::copy_cols(&mut out, 1, &delay);
+        arena.give(slew);
+        arena.give(delay);
+
+        obs::histogram_with("infer.batch_graphs", None, count_bounds)
+            .observe(packed.graph_count() as f64);
+        obs::histogram_with("infer.batch_nodes", None, count_bounds).observe(n as f64);
+        obs::histogram("infer.packed_gemm_seconds").observe(started.elapsed().as_secs_f64());
+        obs::gauge("infer.arena_bytes").set(arena.bytes() as f64);
+        Ok(out)
+    }
+
+    /// Convenience single-graph forward: packs `batch` alone and runs
+    /// [`InferenceModel::forward_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadBatch`] on feature-width mismatch.
+    pub fn forward_one(&self, batch: &GraphBatch, arena: &mut Arena) -> Result<Mat, GnnError> {
+        let packed = PackedBatch::pack(&[batch])?;
+        self.forward_packed(&packed, arena)
+    }
+
+    /// ReLU MLP with linear output, `x` consumed read-only.
+    fn run_mlp(&self, layers: &[Affine], x: &Mat, arena: &mut Arena) -> Mat {
+        let rows = x.rows();
+        let mut cur: Option<Mat> = None;
+        for (i, layer) in layers.iter().enumerate() {
+            let input = cur.as_ref().unwrap_or(x);
+            let mut out = arena.take(rows, layer.w.cols());
+            ops::matmul_into(input, &layer.w, &mut out);
+            ops::add_bias_rows(&mut out, &layer.b);
+            if i + 1 < layers.len() {
+                ops::relu_inplace(&mut out);
+            }
+            if let Some(prev) = cur.replace(out) {
+                arena.give(prev);
+            }
+        }
+        cur.expect("MLPs have at least one layer")
+    }
+}
+
+/// Bucket bounds for small-count histograms (batch graphs/nodes):
+/// factor-2 from 1 to 2048.
+fn count_bounds() -> Vec<f64> {
+    obs::exponential_bounds(1.0, 2.0, 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcnet::{Farads, Ohms, RcNetBuilder};
+
+    fn cfg() -> GnnTransConfig {
+        GnnTransConfig {
+            node_dim: 3,
+            path_dim: 2,
+            hidden: 8,
+            gnn_layers: 2,
+            attn_layers: 2,
+            heads: 2,
+            mlp_hidden: 8,
+            ..Default::default()
+        }
+    }
+
+    fn chain_batch(seed: f32, nodes: usize) -> GraphBatch {
+        let mut b = RcNetBuilder::new("n");
+        let mut prev = b.source("s", Farads(1e-15));
+        for i in 1..nodes - 1 {
+            let node = b.internal(format!("m{i}"), Farads(1e-15));
+            b.resistor(prev, node, Ohms(20.0 + i as f64));
+            prev = node;
+        }
+        let k = b.sink("k", Farads(2e-15));
+        b.resistor(prev, k, Ohms(35.0));
+        let net = b.build().unwrap();
+        let mut x = Mat::zeros(nodes, 3);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32 * 0.7 + seed).sin()) * 0.5;
+        }
+        let pf = net
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Mat::row_vector(vec![0.1 * seed, 0.2 + i as f32]))
+            .collect();
+        GraphBatch::build(&net, x, pf, None).unwrap()
+    }
+
+    #[test]
+    fn forward_one_matches_tape_bit_for_bit() {
+        let model = GnnTrans::new(&cfg(), 17);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        for nodes in [3usize, 5, 9] {
+            let batch = chain_batch(nodes as f32, nodes);
+            let tape_out = model.predict(&batch);
+            let fast = compiled.forward_one(&batch, &mut arena).unwrap();
+            assert_eq!(fast, tape_out, "{nodes}-node graph drifted");
+        }
+    }
+
+    #[test]
+    fn unweighted_and_unnormed_variants_match_tape() {
+        let variant = GnnTransConfig {
+            weighted_aggregation: false,
+            attn_norm: false,
+            path_features: false,
+            ..cfg()
+        };
+        let model = GnnTrans::new(&variant, 23);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        let batch = chain_batch(2.0, 6);
+        assert_eq!(
+            compiled.forward_one(&batch, &mut arena).unwrap(),
+            model.predict(&batch)
+        );
+    }
+
+    #[test]
+    fn packing_is_composition_independent() {
+        let model = GnnTrans::new(&cfg(), 5);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        let batches: Vec<GraphBatch> =
+            (0..4).map(|i| chain_batch(i as f32, 3 + i * 2)).collect();
+        let refs: Vec<&GraphBatch> = batches.iter().collect();
+        let packed = PackedBatch::pack(&refs).unwrap();
+        assert_eq!(packed.graph_count(), 4);
+        let joint = compiled.forward_packed(&packed, &mut arena).unwrap();
+        for (s, b) in batches.iter().enumerate() {
+            let solo = compiled.forward_one(b, &mut arena).unwrap();
+            let (p0, p1) = packed.path_range(s);
+            assert_eq!(p1 - p0, solo.rows());
+            for (r, pr) in (p0..p1).enumerate() {
+                assert_eq!(joint.row(pr), solo.row(r), "graph {s} path {r} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_allocation_free_when_warm() {
+        let model = GnnTrans::new(&cfg(), 9);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        let batch = chain_batch(1.0, 7);
+        let packed = PackedBatch::pack(&[&batch]).unwrap();
+        compiled.forward_packed(&packed, &mut arena).unwrap();
+        let warm_bytes = arena.bytes();
+        let warm_pooled = arena.pooled();
+        for _ in 0..3 {
+            compiled.forward_packed(&packed, &mut arena).unwrap();
+        }
+        assert_eq!(arena.bytes(), warm_bytes, "arena grew after warm-up");
+        assert_eq!(arena.pooled(), warm_pooled);
+    }
+
+    #[test]
+    fn pack_rejects_inconsistent_graphs() {
+        assert!(matches!(
+            PackedBatch::pack(&[]),
+            Err(GnnError::BadBatch(_))
+        ));
+        let a = chain_batch(0.0, 4);
+        let mut b = chain_batch(1.0, 4);
+        b.x = Mat::zeros(4, 5); // width mismatch
+        assert!(PackedBatch::pack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn forward_rejects_wrong_widths() {
+        let model = GnnTrans::new(&cfg(), 3);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        let mut batch = chain_batch(0.0, 4);
+        batch.x = Mat::zeros(4, 7); // poison: wrong node dim
+        let packed = PackedBatch::pack(&[&batch]).unwrap();
+        assert!(matches!(
+            compiled.forward_packed(&packed, &mut arena),
+            Err(GnnError::BadBatch(_))
+        ));
+    }
+}

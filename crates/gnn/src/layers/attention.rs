@@ -69,6 +69,37 @@ impl MhsaLayer {
         self.wq.len()
     }
 
+    /// Per-head query projections (for tape-free compilation).
+    pub(crate) fn wq(&self) -> &[Linear] {
+        &self.wq
+    }
+
+    /// Per-head key projections (for tape-free compilation).
+    pub(crate) fn wk(&self) -> &[Linear] {
+        &self.wk
+    }
+
+    /// Per-head value projections (for tape-free compilation).
+    pub(crate) fn wv(&self) -> &[Linear] {
+        &self.wv
+    }
+
+    /// Output projection `W3` (for tape-free compilation).
+    pub(crate) fn w3(&self) -> &Linear {
+        &self.w3
+    }
+
+    /// Per-head width (for tape-free compilation).
+    pub(crate) fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Whether the attention input is layer-normed (for tape-free
+    /// compilation).
+    pub(crate) fn norm(&self) -> bool {
+        self.norm
+    }
+
     /// Applies the layer: multi-head global attention plus residual.
     pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var) -> Var {
         let inner = if self.norm {

@@ -59,6 +59,16 @@ impl Linear {
         self.out_dim
     }
 
+    /// Parameter id of the weight matrix (for tape-free compilation).
+    pub(crate) fn w_id(&self) -> usize {
+        self.w
+    }
+
+    /// Parameter id of the bias row (for tape-free compilation).
+    pub(crate) fn b_id(&self) -> usize {
+        self.b
+    }
+
     /// Applies the layer on the tape.
     pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var) -> Var {
         let w = tape.param(self.w, params.get(self.w).clone());
@@ -101,6 +111,11 @@ impl Mlp {
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The affine layers in application order (for tape-free compilation).
+    pub(crate) fn layers(&self) -> &[Linear] {
+        &self.layers
     }
 
     /// Applies the MLP (ReLU between layers, linear output).

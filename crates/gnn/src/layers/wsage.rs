@@ -36,6 +36,16 @@ impl WSageLayer {
         }
     }
 
+    /// Self-term projection `W1` (for tape-free compilation).
+    pub(crate) fn w1(&self) -> &Linear {
+        &self.w1
+    }
+
+    /// Neighbor-term projection `W2` (for tape-free compilation).
+    pub(crate) fn w2(&self) -> &Linear {
+        &self.w2
+    }
+
     /// Applies the layer: `relu( X W1 + (A_res X) W2 )` where `adj_res` is
     /// the resistance-weighted adjacency (a tape constant).
     pub fn forward(&self, tape: &mut Tape, params: &ParamSet, x: Var, adj_res: Var) -> Var {

@@ -32,6 +32,7 @@
 
 pub mod batch;
 pub mod gbdt;
+pub mod infer;
 pub mod layers;
 pub mod models;
 pub mod train;

@@ -139,6 +139,31 @@ impl GnnTrans {
     pub fn config(&self) -> &GnnTransConfig {
         &self.cfg
     }
+
+    /// Input projection (for tape-free compilation).
+    pub(crate) fn input_proj(&self) -> &Linear {
+        &self.input_proj
+    }
+
+    /// GNN layer stack (for tape-free compilation).
+    pub(crate) fn gnn_stack(&self) -> &[WSageLayer] {
+        &self.gnn
+    }
+
+    /// Attention layer stack (for tape-free compilation).
+    pub(crate) fn attn_stack(&self) -> &[MhsaLayer] {
+        &self.attn
+    }
+
+    /// Slew head (for tape-free compilation).
+    pub(crate) fn slew_head(&self) -> &Mlp {
+        &self.slew_head
+    }
+
+    /// Delay head (for tape-free compilation).
+    pub(crate) fn delay_head(&self) -> &Mlp {
+        &self.delay_head
+    }
 }
 
 impl GraphModel for GnnTrans {

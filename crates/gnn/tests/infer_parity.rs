@@ -1,0 +1,127 @@
+//! Property tests pinning the tape-free inference engine to the tape
+//! forward: on arbitrary generated nets (tree and non-tree) the
+//! compiled [`InferenceModel`] must reproduce `GnnTrans::predict`
+//! within 1e-6 relative error (in practice bit-exactly), and packing a
+//! graph together with neighbors must not change its rows at all.
+
+use gnn::batch::GraphBatch;
+use gnn::infer::{Arena, InferenceModel, PackedBatch};
+use gnn::models::{GnnTrans, GnnTransConfig, GraphModel};
+use netgen::nets::{NetConfig, NetGenerator};
+use proptest::prelude::*;
+use tensor::Mat;
+
+const NODE_DIM: usize = 5;
+const PATH_DIM: usize = 3;
+
+fn batch_for(seed: u64, nontree: bool) -> GraphBatch {
+    let cfg = NetConfig {
+        nodes_min: 4,
+        nodes_max: 20,
+        ..Default::default()
+    };
+    let net = NetGenerator::new(seed, cfg).net(format!("i{seed}"), nontree);
+    let n = net.node_count();
+    let x = Mat::from_vec(
+        n,
+        NODE_DIM,
+        (0..n * NODE_DIM)
+            .map(|i| ((i as f32 + seed as f32) * 0.41).sin() * 0.5)
+            .collect(),
+    )
+    .expect("sized");
+    let pf = net
+        .paths()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Mat::row_vector(vec![i as f32 * 0.1, -0.2, 0.3]))
+        .collect();
+    GraphBatch::build(&net, x, pf, None).expect("valid batch")
+}
+
+fn model_for(seed: u64, weighted: bool, norm: bool) -> GnnTrans {
+    let cfg = GnnTransConfig {
+        node_dim: NODE_DIM,
+        path_dim: PATH_DIM,
+        hidden: 8,
+        gnn_layers: 2,
+        attn_layers: 1,
+        heads: 2,
+        mlp_hidden: 8,
+        weighted_aggregation: weighted,
+        attn_norm: norm,
+        ..Default::default()
+    };
+    GnnTrans::new(&cfg, seed)
+}
+
+/// Maximum relative error between two equally shaped matrices, with an
+/// absolute floor so near-zero entries do not blow the ratio up.
+fn max_rel_err(a: &Mat, b: &Mat) -> f32 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-3))
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tape_free_forward_matches_tape(
+        seed in 0u64..5_000,
+        nontree in any::<bool>(),
+        weighted in any::<bool>(),
+        norm in any::<bool>(),
+    ) {
+        let model = model_for(seed ^ 0x77, weighted, norm);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        let batch = batch_for(seed, nontree);
+        let tape = model.predict(&batch);
+        let fast = compiled.forward_one(&batch, &mut arena).expect("forward");
+        prop_assert_eq!(fast.shape(), tape.shape());
+        prop_assert!(
+            max_rel_err(&fast, &tape) <= 1e-6,
+            "rel err {} exceeds 1e-6",
+            max_rel_err(&fast, &tape)
+        );
+        // The implementation mirrors the tape's accumulation order, so
+        // parity is in fact exact — pin that stronger property too.
+        prop_assert_eq!(fast, tape);
+    }
+
+    #[test]
+    fn packed_rows_are_bit_identical_to_solo(
+        seed in 0u64..5_000,
+        nontree in any::<bool>(),
+    ) {
+        let model = model_for(seed ^ 0x2b, true, true);
+        let compiled = InferenceModel::compile(&model);
+        let mut arena = Arena::new();
+        // The graph under test plus two arbitrary neighbors on each side.
+        let batches: Vec<GraphBatch> = (0..5)
+            .map(|k| batch_for(seed.wrapping_add(k * 131), nontree ^ (k % 2 == 0)))
+            .collect();
+        let refs: Vec<&GraphBatch> = batches.iter().collect();
+        let packed = PackedBatch::pack(&refs).expect("pack");
+        let joint = compiled.forward_packed(&packed, &mut arena).expect("forward");
+        for (g, batch) in batches.iter().enumerate() {
+            let solo = compiled.forward_one(batch, &mut arena).expect("forward");
+            let (p0, p1) = packed.path_range(g);
+            prop_assert_eq!(p1 - p0, solo.rows());
+            for p in 0..solo.rows() {
+                for c in 0..2 {
+                    // Bit-identical: packing must not perturb a single ULP.
+                    prop_assert_eq!(
+                        joint.get(p0 + p, c).to_bits(),
+                        solo.get(p, c).to_bits(),
+                        "graph {} path {} col {} differs packed vs solo",
+                        g, p, c
+                    );
+                }
+            }
+        }
+    }
+}

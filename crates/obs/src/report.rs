@@ -116,6 +116,7 @@ impl RunReport {
 
         self.push_par_section(&mut out);
         self.push_solver_section(&mut out);
+        self.push_infer_section(&mut out);
         out.push('}');
         out
     }
@@ -233,6 +234,64 @@ impl RunReport {
         out.push('}');
     }
 
+    /// Emits a derived `"infer"` section summarizing the tape-free
+    /// inference engine: resident arena bytes (`infer.arena_bytes`
+    /// gauge), packed batch shape (`infer.batch_graphs` /
+    /// `infer.batch_nodes` histograms), the packed-vs-unpacked forward
+    /// time split (`infer.packed_gemm_seconds` /
+    /// `infer.unpacked_seconds`) and the `infer.fallbacks` counter, so
+    /// one glance at a run report answers "did serving actually run the
+    /// packed path, and how big were its batches". Empty-but-present
+    /// when no inference ran.
+    fn push_infer_section(&self, out: &mut String) {
+        let gauge = |name: &str| {
+            self.metrics
+                .gauges
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let counter = |name: &str| {
+            self.metrics
+                .counters
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        out.push_str(",\"infer\":{\"arena_bytes\":");
+        json::push_f64(out, gauge("infer.arena_bytes"));
+        out.push_str(",\"fallbacks\":");
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{}", counter("infer.fallbacks")));
+        for (field, name) in [
+            ("batch_graphs", "infer.batch_graphs"),
+            ("batch_nodes", "infer.batch_nodes"),
+            ("packed", "infer.packed_gemm_seconds"),
+            ("unpacked", "infer.unpacked_seconds"),
+        ] {
+            let hist = self
+                .metrics
+                .histograms
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, h)| h);
+            let _ = std::fmt::Write::write_fmt(out, format_args!(",\"{field}\":{{\"count\":"));
+            let _ = std::fmt::Write::write_fmt(
+                out,
+                format_args!("{}", hist.map(|h| h.count()).unwrap_or(0)),
+            );
+            out.push_str(",\"sum\":");
+            json::push_f64(out, hist.map(|h| h.sum()).unwrap_or(0.0));
+            out.push_str(",\"mean\":");
+            json::push_f64(out, hist.map(|h| h.mean()).unwrap_or(0.0));
+            out.push_str(",\"p95\":");
+            json::push_f64(out, hist.map(|h| h.quantile(0.95)).unwrap_or(0.0));
+            out.push('}');
+        }
+        out.push('}');
+    }
+
     /// Writes the JSON report to `path` (plus a trailing newline).
     pub fn write_file(&self, path: &str) -> std::io::Result<()> {
         let mut file = std::fs::File::create(path)?;
@@ -339,6 +398,24 @@ mod tests {
         assert!(json.contains("\"sparse_fill\":2"));
         assert!(json.contains("\"factor\":{\"count\":1"));
         assert!(json.contains("\"solve\":{\"count\":0"));
+    }
+
+    #[test]
+    fn report_has_derived_infer_section() {
+        crate::metrics::gauge("infer.arena_bytes").set(4096.0);
+        crate::metrics::counter("infer.fallbacks").add(2);
+        let h = crate::metrics::histogram_with("infer.batch_graphs", None, || vec![1.0, 8.0, 64.0]);
+        h.observe(4.0);
+        h.observe(16.0);
+        let t = crate::metrics::histogram("infer.packed_gemm_seconds");
+        t.observe(0.003);
+        let json = RunReport::capture().to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"infer\":{\"arena_bytes\":4096"));
+        assert!(json.contains("\"fallbacks\":2"));
+        assert!(json.contains("\"batch_graphs\":{\"count\":2"));
+        assert!(json.contains("\"packed\":{\"count\":1"));
+        assert!(json.contains("\"unpacked\":{\"count\":0"));
     }
 
     #[test]

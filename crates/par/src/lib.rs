@@ -96,6 +96,57 @@ pub fn set_threads(n: usize) {
     obs::gauge("par.threads").set(n as f64);
 }
 
+/// The machine's actual core count (`available_parallelism`), resolved
+/// once. Unlike [`threads`] this ignores `PAR_THREADS`/[`set_threads`]:
+/// it answers "can lanes physically overlap?", which gates the 1-core
+/// serial clamp in `par_map`.
+pub fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// 0 = not yet resolved; 1 = clamp active (default); 2 = pool forced.
+static FORCE_POOL: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses a `PAR_FORCE_POOL` value: `1`/`true` (any case) force the
+/// pool, anything else leaves the 1-core clamp active.
+pub fn resolve_force_pool(env: Option<&str>) -> bool {
+    env.map(|v| {
+        let t = v.trim();
+        t == "1" || t.eq_ignore_ascii_case("true")
+    })
+    .unwrap_or(false)
+}
+
+/// Whether `par_map` must fan out on the pool even when the host has a
+/// single core. Defaults to the `PAR_FORCE_POOL` environment variable
+/// (resolved once); determinism tests flip it with [`set_force_pool`]
+/// so pool scheduling stays exercised on 1-core CI hosts.
+pub fn force_pool() -> bool {
+    let cur = FORCE_POOL.load(Ordering::Acquire);
+    if cur != 0 {
+        return cur == 2;
+    }
+    let on = resolve_force_pool(std::env::var("PAR_FORCE_POOL").ok().as_deref());
+    let _ = FORCE_POOL.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+    FORCE_POOL.load(Ordering::Acquire) == 2
+}
+
+/// Overrides the [`force_pool`] flag for this process (tests and
+/// benchmarks that must exercise pool scheduling on a 1-core host).
+pub fn set_force_pool(on: bool) {
+    FORCE_POOL.store(if on { 2 } else { 1 }, Ordering::Release);
+}
+
 /// Serializes tests (within this crate) that change the global thread
 /// count, so parallel test threads cannot interleave overrides.
 #[cfg(test)]
@@ -123,6 +174,16 @@ mod tests {
         assert_eq!(resolve_threads(Some("0")), hw);
         assert_eq!(resolve_threads(Some("lots")), hw);
         assert_eq!(resolve_threads(Some("-2")), hw);
+    }
+
+    #[test]
+    fn resolve_force_pool_parses_truthy_values() {
+        assert!(resolve_force_pool(Some("1")));
+        assert!(resolve_force_pool(Some(" true ")));
+        assert!(resolve_force_pool(Some("TRUE")));
+        assert!(!resolve_force_pool(Some("0")));
+        assert!(!resolve_force_pool(Some("yes")));
+        assert!(!resolve_force_pool(None));
     }
 
     #[test]

@@ -161,7 +161,22 @@ where
 {
     let n = items.len();
     let nested = IN_LANE.with(Cell::get);
-    let lanes = if nested { 1 } else { threads().min(n).max(1) };
+    let lanes = if nested {
+        1
+    } else {
+        let want = threads().min(n).max(1);
+        // On a single-core host lanes cannot physically overlap, so
+        // pool fan-out is pure overhead (the 0.89x dataset_build /
+        // train_epoch regression in BENCH_compute.json). Clamp to the
+        // serial path unless PAR_FORCE_POOL / set_force_pool insists —
+        // the determinism gates do, to keep pool scheduling itself
+        // under test on 1-core CI hosts.
+        if want > 1 && crate::host_parallelism() == 1 && !crate::force_pool() {
+            1
+        } else {
+            want
+        }
+    };
     let hist = obs::histogram_with("par.task_seconds", Some(kind), task_bounds);
     obs::counter_labeled("par.tasks", Some(kind)).add(n as u64);
     if lanes == 1 {
@@ -231,9 +246,12 @@ where
 ///
 /// Runs serially (no pool involvement) when the resolved thread count
 /// is 1 — the `PAR_THREADS=1` escape hatch — when `items` has fewer
-/// than two elements, or when called from inside another `par_map`
-/// lane (nested maps on the single global pool would deadlock; see the
-/// module docs). Output is bit-identical either way.
+/// than two elements, when the host has a single core (lanes cannot
+/// overlap, so fan-out is pure overhead; override with
+/// `PAR_FORCE_POOL=1` / [`crate::set_force_pool`]), or when called
+/// from inside another `par_map` lane (nested maps on the single
+/// global pool would deadlock; see the module docs). Output is
+/// bit-identical either way.
 ///
 /// # Panics
 ///
@@ -287,12 +305,13 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{set_threads, test_threads_lock};
+    use crate::{set_force_pool, set_threads, test_threads_lock, workers};
 
     #[test]
     fn results_are_in_input_order() {
         let _g = test_threads_lock();
         set_threads(4);
+        set_force_pool(true);
         let items: Vec<usize> = (0..257).collect();
         let out = par_map("test.order", &items, |&i| i * 2);
         assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
@@ -309,9 +328,51 @@ mod tests {
     }
 
     #[test]
+    fn par_threads_one_never_touches_pool() {
+        // The PAR_THREADS=1 regression contract: the serial path must
+        // involve no pool at all — no worker spawns, no job submission,
+        // no latch — so a 1-thread par_map has no overhead beyond the
+        // plain loop. Worker count not growing is the observable proxy
+        // (workers never exit, so any fan-out would raise it).
+        let _g = test_threads_lock();
+        set_threads(1);
+        let before = workers();
+        let items: Vec<usize> = (0..512).collect();
+        let out = par_map("test.serial", &items, |&i| i + 1);
+        assert_eq!(out[511], 512);
+        assert_eq!(workers(), before, "PAR_THREADS=1 must stay off the pool");
+    }
+
+    #[test]
+    fn one_core_host_clamps_to_serial() {
+        // The BENCH_compute 0.89x fix: threads > 1 on a 1-core host must
+        // take the serial path (lanes cannot overlap, fan-out is pure
+        // overhead) unless the pool is explicitly forced. Only
+        // observable on an actual 1-core host.
+        if crate::host_parallelism() != 1 {
+            return;
+        }
+        let _g = test_threads_lock();
+        set_force_pool(false);
+        set_threads(4);
+        let before = workers();
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map("test.clamp", &items, |&i| i * 2);
+        assert_eq!(out[63], 126);
+        assert_eq!(workers(), before, "1-core host must clamp to serial");
+        // Forcing the pool re-enables fan-out (the determinism gates
+        // rely on this to exercise pool scheduling on 1-core CI).
+        set_force_pool(true);
+        let out = par_map("test.clamp.forced", &items, |&i| i * 2);
+        assert_eq!(out[63], 126);
+        assert!(workers() >= 3, "forced pool must spawn workers");
+    }
+
+    #[test]
     fn nested_maps_run_serially_without_deadlock() {
         let _g = test_threads_lock();
         set_threads(4);
+        set_force_pool(true);
         // Before the lane flag, every worker plus the caller blocked in
         // an outer lane's latch while the inner jobs sat queued behind
         // them — a permanent pool-wide deadlock. Nested maps now take
@@ -335,6 +396,7 @@ mod tests {
     fn try_map_returns_lowest_index_error() {
         let _g = test_threads_lock();
         set_threads(4);
+        set_force_pool(true);
         let items: Vec<usize> = (0..100).collect();
         // Items 30 and 70 fail; the error must always be 30's.
         let r = try_par_map("test.err", &items, |&i| {
@@ -381,6 +443,7 @@ mod tests {
     fn trace_context_propagates_into_lanes() {
         let _g = test_threads_lock();
         set_threads(4);
+        set_force_pool(true);
         let ctx = obs::TraceContext::new(obs::TraceId::generate());
         let scope = obs::trace::scope(ctx);
         let items: Vec<usize> = (0..64).collect();
@@ -402,6 +465,7 @@ mod tests {
     fn panics_propagate_to_caller() {
         let _g = test_threads_lock();
         set_threads(4);
+        set_force_pool(true);
         let items: Vec<usize> = (0..64).collect();
         let caught = catch_unwind(AssertUnwindSafe(|| {
             par_map("test.panic", &items, |&i| {

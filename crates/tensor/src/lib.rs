@@ -14,7 +14,10 @@
 //! * [`init`] — deterministic Xavier/He initialization (internal
 //!   SplitMix64 stream, no external RNG dependency);
 //! * [`serialize`] — a little-endian binary save/load format for
-//!   parameter sets.
+//!   parameter sets;
+//! * [`infer`] — tape-free forward-only ops over a reusable buffer
+//!   [`infer::Arena`] for the serving hot path (bit-identical to the
+//!   tape forward).
 //!
 //! Every differentiable operation is verified against finite differences
 //! in the test suite.
@@ -42,6 +45,7 @@
 //! assert!((params.get(w).get(0, 0) - 2.0).abs() < 1e-3);
 //! ```
 
+pub mod infer;
 pub mod init;
 pub mod kernels;
 pub mod mat;

@@ -121,6 +121,13 @@ impl Mat {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Consumes the matrix, returning its row-major storage with its
+    /// capacity intact — the buffer-recycling hook used by
+    /// [`crate::infer::Arena`].
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Matrix product, via the cache-blocked register-tiled kernel
     /// ([`crate::kernels::gemm`]). Shapes must agree.
     ///

@@ -11,9 +11,11 @@ cargo test -q --workspace
 # Parallel-determinism gates: dataset builds and accumulated training
 # must be bit-identical to serial no matter the pool size. The tests
 # flip the in-process thread count themselves; PAR_THREADS=4 also
-# exercises env resolution on the way in.
-PAR_THREADS=4 cargo test -q -p gnntrans --test par_determinism
-PAR_THREADS=4 cargo test -q -p gnn --test par_determinism
+# exercises env resolution on the way in, and PAR_FORCE_POOL=1 keeps
+# pool scheduling exercised even on 1-core CI hosts (where par_map
+# otherwise clamps to the serial path).
+PAR_THREADS=4 PAR_FORCE_POOL=1 cargo test -q -p gnntrans --test par_determinism
+PAR_THREADS=4 PAR_FORCE_POOL=1 cargo test -q -p gnn --test par_determinism
 
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -21,6 +23,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # count; writes a throwaway report and fails on any kernel/pool panic.
 cargo run -q -p bench --release --bin compute -- --steps 2 \
     --out target/BENCH_compute_smoke.json
+
+# Inference-engine smoke: tape vs tape-free and packed vs per-graph at
+# reduced sizes; asserts the tape-free/packed output matches the tape
+# forward within 1e-6 relative error on every path.
+cargo run -q -p bench --release --bin infer -- --smoke \
+    --out target/BENCH_infer_smoke.json
 
 # Sparse-solver gates: the dense-vs-sparse golden agreement tests, then
 # the rcsim bench smoke (small sizes, both backends), which asserts the
