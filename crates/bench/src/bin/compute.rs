@@ -1,17 +1,19 @@
 //! Compute-layer benchmark: blocked matmul kernels and `par` scaling.
 //!
-//! Measures the three things the parallel compute layer changed —
+//! Measures the two things the parallel compute layer changed —
 //! single-thread matmul throughput (blocked/dispatched kernel vs the
-//! seed scalar kernel kept as [`Mat::matmul_reference`]), dataset-build
-//! nets/sec, and training epoch seconds, the latter two at 1 thread vs
-//! `N` threads on the `par` pool — and writes `BENCH_compute.json`.
+//! seed scalar kernel kept as [`Mat::matmul_reference`]) and
+//! dataset-build nets/sec at 1 thread vs `N` threads on the `par` pool
+//! — and writes `BENCH_compute.json`. Training throughput has its own
+//! benchmark (`bench --bin train`, `BENCH_train.json`), which measures
+//! the tape vs packed gradient backends rather than pool scaling.
 //!
 //! ```text
 //! cargo run -p bench --release --bin compute [-- --steps N --threads T \
 //!     --seed S --out PATH]
 //! ```
 //!
-//! `--steps` scales every workload (reps, net counts, epochs); the
+//! `--steps` scales every workload (reps, net counts); the
 //! check-script smoke uses `--steps 2`. Like the serve loadgen, the
 //! report records `host_cores`: on a single-core host the 1-vs-N runs
 //! validate determinism under concurrency, not parallel speedup, and a
@@ -193,9 +195,8 @@ fn main() {
             .build(&nets)
             .expect("dataset build")
     };
-    let mut dataset = None;
     let ds_serial = time_at(1, || {
-        dataset = Some(build(&mut ()));
+        build(&mut ());
     });
     let ds_parallel = time_at(args.threads, || {
         build(&mut ());
@@ -203,38 +204,6 @@ fn main() {
     let dataset_scaling = Scaling {
         serial_s: ds_serial,
         parallel_s: ds_parallel,
-    };
-    let dataset = dataset.expect("serial build ran");
-
-    // --- training epoch seconds, 1 vs N threads (accumulated chunks
-    // fan out per graph; accum > 1 is what parallelizes).
-    let epochs = (args.steps / 10).max(1);
-    eprintln!("compute: training {epochs} epoch(s), 1 vs {} threads...", args.threads);
-    let batches = dataset.batches().expect("batches");
-    let tcfg = gnn::train::TrainConfig {
-        epochs,
-        accum: 4,
-        ..Default::default()
-    };
-    let model_cfg = gnn::models::GnnTransConfig {
-        node_dim: gnntrans::features::NODE_DIM,
-        path_dim: gnntrans::features::PATH_DIM,
-        hidden: 16,
-        gnn_layers: 2,
-        attn_layers: 1,
-        heads: 2,
-        mlp_hidden: 16,
-        ..Default::default()
-    };
-    let train_secs = |threads: usize| {
-        let mut model = gnn::models::GnnTrans::new(&model_cfg, args.seed);
-        time_at(threads, || {
-            gnn::train::train(&mut model, &batches, &tcfg).expect("training");
-        })
-    };
-    let train_scaling = Scaling {
-        serial_s: train_secs(1),
-        parallel_s: train_secs(args.threads),
     };
 
     // --- report.
@@ -276,7 +245,6 @@ fn main() {
         out.push('}');
     };
     push_scaling(&mut out, "dataset_build", &dataset_scaling, Some(net_count as f64));
-    push_scaling(&mut out, "train_epoch", &train_scaling, None);
     out.push('}');
 
     std::fs::write(&args.out, format!("{out}\n")).expect("write report");

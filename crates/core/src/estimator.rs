@@ -5,7 +5,7 @@ use crate::scaler::Scaler;
 use crate::{CoreError, Dataset};
 use gnn::infer::{InferenceModel, PackedBatch};
 use gnn::models::{GnnTrans, GnnTransConfig, GraphModel};
-use gnn::train::{train, TrainConfig, TrainReport};
+use gnn::train::{train, TrainBackend, TrainConfig, TrainReport};
 use gnn::GraphBatch;
 use rcnet::{NodeId, RcNet, Seconds};
 use std::cell::RefCell;
@@ -333,6 +333,7 @@ impl WireTimingEstimator {
                 seed: 1,
                 grad_clip: Some(5.0),
                 accum: 1,
+                backend: TrainBackend::from_env(),
             },
         )?;
         self.scalers = Some(Scalers {
@@ -385,6 +386,7 @@ impl WireTimingEstimator {
                 seed: 1,
                 grad_clip: Some(5.0),
                 accum: 1,
+                backend: TrainBackend::from_env(),
             },
             patience,
         )?;
@@ -440,6 +442,7 @@ impl WireTimingEstimator {
                 seed: 2,
                 grad_clip: Some(5.0),
                 accum: 1,
+                backend: TrainBackend::from_env(),
             },
         )?;
         self.rebuild_infer();

@@ -16,7 +16,12 @@
 //!   with plain mean pooling;
 //! * [`gbdt`] — gradient-boosted regression trees, the ML engine behind
 //!   the DAC'20 \[5\] baseline;
-//! * [`train`] — the MSE training loop (Adam) shared by all graph models.
+//! * [`train`] — the MSE training loop (Adam) shared by all graph models,
+//!   with a tape backend (the gradient oracle) and a packed tape-free
+//!   backend;
+//! * [`grad`] — the packed-batch training engine: analytic backward
+//!   through the segment-packed kernels, one tall GEMM per layer in both
+//!   directions.
 //!
 //! # Examples
 //!
@@ -32,6 +37,7 @@
 
 pub mod batch;
 pub mod gbdt;
+pub mod grad;
 pub mod infer;
 pub mod layers;
 pub mod models;

@@ -175,6 +175,10 @@ impl GraphModel for GnnTrans {
         &self.params
     }
 
+    fn packed_trainer(&self) -> Option<crate::grad::PackedTrainer> {
+        Some(crate::grad::PackedTrainer::compile(self))
+    }
+
     fn param_set_mut(&mut self) -> &mut ParamSet {
         &mut self.params
     }

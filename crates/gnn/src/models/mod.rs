@@ -42,6 +42,13 @@ pub trait GraphModel: Sync {
         let out = self.forward(&mut tape, batch);
         tape.value(out).clone()
     }
+
+    /// Compiles this model for packed-batch tape-free training, when
+    /// supported ([`GnnTrans`] is; baselines return `None` and train on
+    /// the tape regardless of the configured backend).
+    fn packed_trainer(&self) -> Option<crate::grad::PackedTrainer> {
+        None
+    }
 }
 
 /// Mean-pools the final node representations over each wire path's nodes,

@@ -1,13 +1,59 @@
 //! Shared training loop: Adam on per-net MSE, matching the paper's
 //! end-to-end training objective (minimize MSE between estimated and
 //! golden slew/delay, §IV).
+//!
+//! Two gradient backends share the loop. The autograd tape is the
+//! oracle: one tape per graph, exact reverse-mode gradients. The packed
+//! backend ([`crate::grad::PackedTrainer`]) trains a whole pack of
+//! graphs as one tall node matrix with tape-free arena kernels — the
+//! training-side twin of the inference engine. Packs are split from
+//! each accumulation chunk by a deterministic rule (never by thread
+//! count) and reduced in chunk order, so the trained weights are
+//! bit-identical for any `PAR_THREADS` setting on either backend.
 
 use crate::batch::GraphBatch;
+use crate::grad::{self, PackedTrainer};
 use crate::models::GraphModel;
 use crate::GnnError;
 use tensor::init::InitRng;
 use tensor::optim::Adam;
 use tensor::{Mat, Tape};
+
+/// Which gradient implementation [`train`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainBackend {
+    /// The packed tape-free backward (arena kernels, cross-net
+    /// packing) — the default for models that provide a
+    /// [`GraphModel::packed_trainer`]; others silently use the tape.
+    Packed,
+    /// The autograd-tape backward, kept as the gradient oracle.
+    /// Selected by `GNNTRANS_TAPE_TRAIN=1` or [`TrainConfig::backend`].
+    Tape,
+}
+
+impl TrainBackend {
+    /// Resolves the backend from the `GNNTRANS_TAPE_TRAIN` environment
+    /// variable (`1`/`true` select the tape oracle).
+    pub fn from_env() -> Self {
+        let oracle = std::env::var("GNNTRANS_TAPE_TRAIN")
+            .map(|v| {
+                let t = v.trim();
+                t == "1" || t.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false);
+        if oracle {
+            TrainBackend::Tape
+        } else {
+            TrainBackend::Packed
+        }
+    }
+}
+
+impl Default for TrainBackend {
+    fn default() -> Self {
+        TrainBackend::from_env()
+    }
+}
 
 /// Training-loop knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,11 +69,13 @@ pub struct TrainConfig {
     /// Graphs per optimizer step. `1` (the default) reproduces the
     /// classic per-graph SGD loop bit for bit. Larger values average
     /// gradients over each chunk of the shuffled visit order and take
-    /// one step per chunk; the per-graph forward/backward passes inside
-    /// a chunk run on the [`par`] pool, and because the accumulation is
+    /// one step per chunk; the per-graph (or per-pack) passes inside a
+    /// chunk run on the [`par`] pool, and because the accumulation is
     /// reduced in fixed chunk order the trained weights are identical
     /// for any `PAR_THREADS` setting.
     pub accum: usize,
+    /// Gradient backend (defaults from `GNNTRANS_TAPE_TRAIN`).
+    pub backend: TrainBackend,
 }
 
 impl Default for TrainConfig {
@@ -38,6 +86,7 @@ impl Default for TrainConfig {
             seed: 0,
             grad_clip: Some(5.0),
             accum: 1,
+            backend: TrainBackend::from_env(),
         }
     }
 }
@@ -52,6 +101,14 @@ pub struct TrainReport {
     /// Pre-clip global gradient norm of the last optimizer step
     /// (`NaN` when no step ran).
     pub final_grad_norm: f32,
+    /// Training throughput over the whole run, graphs per second.
+    pub graphs_per_s: f64,
+    /// Peak packed-trainer arena footprint observed on any lane, bytes
+    /// (0 on the tape backend).
+    pub arena_bytes_peak: usize,
+    /// Graphs re-run on the per-graph tape because their pack produced
+    /// an error or a non-finite loss (0 on the tape backend).
+    pub fallbacks: u64,
 }
 
 impl TrainReport {
@@ -64,6 +121,104 @@ impl TrainReport {
     pub fn total_seconds(&self) -> f64 {
         self.epoch_seconds.iter().sum()
     }
+}
+
+/// One graph's tape forward/backward: `(loss, param grads)`.
+///
+/// The gradient oracle for both backends and the packed backend's
+/// per-graph fallback.
+///
+/// # Panics
+///
+/// Panics when `batch` has no targets.
+pub(crate) fn tape_graph_grads<M: GraphModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+) -> (f32, Vec<(usize, Mat)>) {
+    let targets = batch.targets.as_ref().expect("batch has targets");
+    let mut tape = Tape::new();
+    let loss = {
+        let _s = obs::span("forward");
+        let pred = model.forward(&mut tape, batch);
+        tape.mse_loss(pred, targets)
+    };
+    let grads = {
+        let _s = obs::span("backward");
+        tape.backward(loss);
+        tape.param_grads()
+    };
+    (tape.value(loss).get(0, 0), grads)
+}
+
+/// Node budget of one pack: keeps tall matrices cache-friendly.
+const PACK_MAX_NODES: usize = 2048;
+/// Graph budget of one pack.
+const PACK_MAX_GRAPHS: usize = 8;
+
+/// Splits an accumulation chunk into packs by a deterministic greedy
+/// rule (visit order, node/graph budgets). Depends only on the chunk
+/// contents — never on the thread count — so the pack-order reduction
+/// keeps training bit-reproducible under any parallelism.
+fn split_packs<'c>(chunk: &'c [usize], batches: &[GraphBatch]) -> Vec<&'c [usize]> {
+    let mut packs = Vec::new();
+    let mut start = 0;
+    let mut nodes = 0;
+    for (i, &bi) in chunk.iter().enumerate() {
+        let n = batches[bi].node_count();
+        if i > start && (nodes + n > PACK_MAX_NODES || i - start >= PACK_MAX_GRAPHS) {
+            packs.push(&chunk[start..i]);
+            start = i;
+            nodes = 0;
+        }
+        nodes += n;
+    }
+    packs.push(&chunk[start..]);
+    packs
+}
+
+/// Result of one pack lane: per-graph losses in pack order, pack-summed
+/// gradients, tape-fallback count, arena footprint.
+type PackOutcome = (Vec<f32>, Vec<(usize, Mat)>, u64, usize);
+
+/// Runs one pack through the packed trainer, falling back to per-graph
+/// tapes when the step errors or produces a non-finite loss — the epoch
+/// continues either way, and the tape rerun keeps divergence semantics
+/// identical to the tape backend.
+fn run_pack<M: GraphModel + ?Sized>(
+    trainer: &PackedTrainer,
+    model: &M,
+    batches: &[GraphBatch],
+    pack: &[usize],
+) -> PackOutcome {
+    grad::with_scratch(|scratch| {
+        let refs: Vec<&GraphBatch> = pack.iter().map(|&bi| &batches[bi]).collect();
+        let healthy = match trainer.step(model.param_set(), &refs, scratch) {
+            Ok(step) if step.losses.iter().all(|l| l.is_finite()) => Some(step),
+            _ => None,
+        };
+        match healthy {
+            Some(step) => {
+                let bytes = step.arena_bytes;
+                (step.losses, step.grads, 0, bytes)
+            }
+            None => {
+                let mut losses = Vec::with_capacity(pack.len());
+                let mut sum: Vec<(usize, Mat)> = Vec::new();
+                for &bi in pack {
+                    let (loss, g) = tape_graph_grads(model, &batches[bi]);
+                    losses.push(loss);
+                    for (id, mat) in g {
+                        match sum.iter_mut().find(|(i, _)| *i == id) {
+                            Some((_, acc)) => acc.axpy(1.0, &mat),
+                            None => sum.push((id, mat)),
+                        }
+                    }
+                }
+                obs::counter("train.fallbacks").add(pack.len() as u64);
+                (losses, sum, pack.len() as u64, scratch.arena_bytes())
+            }
+        }
+    })
 }
 
 /// Trains `model` on labelled batches.
@@ -86,12 +241,20 @@ pub fn train<M: GraphModel + ?Sized>(
     let loss_gauge = obs::gauge("gnn.train.loss");
     let grad_gauge = obs::gauge("gnn.train.grad_norm");
     obs::gauge("gnn.train.lr").set(cfg.lr as f64);
+    // The packed backend only engages when the model can compile one;
+    // baselines (and `GNNTRANS_TAPE_TRAIN=1`) stay on the tape.
+    let trainer: Option<PackedTrainer> = match cfg.backend {
+        TrainBackend::Packed => model.packed_trainer(),
+        TrainBackend::Tape => None,
+    };
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..batches.len()).collect();
     let mut rng = InitRng::new(cfg.seed);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut epoch_seconds = Vec::with_capacity(cfg.epochs);
     let mut final_grad_norm = f32::NAN;
+    let mut arena_bytes_peak = 0usize;
+    let mut fallbacks = 0u64;
 
     for epoch in 0..cfg.epochs {
         let epoch_span = obs::span("epoch");
@@ -106,39 +269,48 @@ pub fn train<M: GraphModel + ?Sized>(
         }
         let mut total = 0.0f32;
         for chunk in order.chunks(cfg.accum.max(1)) {
-            // Per-graph forward/backward. Chunks of one stay on the
-            // caller's thread inside par_map's serial fast path when
-            // the pool is sized 1; larger chunks fan out, and the
-            // in-order result contract below makes the reduction — and
+            // Fixed-order reduction target: gradients summed by
+            // parameter id in chunk order, then mean-scaled (a chunk of
+            // one keeps the raw per-graph gradient — the seed loop's
+            // semantics). Work fans out on the par pool, and the
+            // in-order result contract makes the reduction — and
             // therefore the trained weights — independent of the
-            // thread count.
-            let graph_grads = par::par_map("train.graph", chunk, |&bi| {
-                let batch = &batches[bi];
-                let targets = batch.targets.as_ref().expect("validated above");
-                let mut tape = Tape::new();
-                let loss = {
-                    let _s = obs::span("forward");
-                    let pred = model.forward(&mut tape, batch);
-                    tape.mse_loss(pred, targets)
-                };
-                let grads = {
-                    let _s = obs::span("backward");
-                    tape.backward(loss);
-                    tape.param_grads()
-                };
-                (tape.value(loss).get(0, 0), grads)
-            });
-
-            // Fixed-order reduction: sum gradients by parameter id in
-            // chunk order, then mean-scale (a chunk of one keeps the
-            // raw per-graph gradient — the seed loop's semantics).
+            // thread count on both backends.
             let mut grads: Vec<(usize, Mat)> = Vec::new();
-            for (loss, g) in graph_grads {
-                total += loss;
-                for (id, mat) in g {
-                    match grads.iter_mut().find(|(i, _)| *i == id) {
-                        Some((_, acc)) => acc.axpy(1.0, &mat),
-                        None => grads.push((id, mat)),
+            if let Some(trainer) = &trainer {
+                // Packed backend: the chunk splits into packs by a
+                // deterministic budget rule; each pack trains as one
+                // tall matrix on its lane's arena.
+                let model_ref: &M = model;
+                let packs = split_packs(chunk, batches);
+                let outcomes = par::par_map("train.pack", &packs, |pack: &&[usize]| {
+                    run_pack(trainer, model_ref, batches, pack)
+                });
+                for (losses, g, fb, bytes) in outcomes {
+                    for loss in losses {
+                        total += loss;
+                    }
+                    fallbacks += fb;
+                    arena_bytes_peak = arena_bytes_peak.max(bytes);
+                    for (id, mat) in g {
+                        match grads.iter_mut().find(|(i, _)| *i == id) {
+                            Some((_, acc)) => acc.axpy(1.0, &mat),
+                            None => grads.push((id, mat)),
+                        }
+                    }
+                }
+            } else {
+                // Tape backend: one tape per graph.
+                let graph_grads = par::par_map("train.graph", chunk, |&bi| {
+                    tape_graph_grads(model, &batches[bi])
+                });
+                for (loss, g) in graph_grads {
+                    total += loss;
+                    for (id, mat) in g {
+                        match grads.iter_mut().find(|(i, _)| *i == id) {
+                            Some((_, acc)) => acc.axpy(1.0, &mat),
+                            None => grads.push((id, mat)),
+                        }
                     }
                 }
             }
@@ -190,10 +362,20 @@ pub fn train<M: GraphModel + ?Sized>(
         }
         epoch_losses.push(mean);
     }
+    let total_seconds: f64 = epoch_seconds.iter().sum();
+    let graphs_trained = cfg.epochs * batches.len();
+    let graphs_per_s = if graphs_trained > 0 && total_seconds > 0.0 {
+        graphs_trained as f64 / total_seconds
+    } else {
+        0.0
+    };
     Ok(TrainReport {
         epoch_losses,
         epoch_seconds,
         final_grad_norm,
+        graphs_per_s,
+        arena_bytes_peak,
+        fallbacks,
     })
 }
 

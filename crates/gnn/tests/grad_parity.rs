@@ -1,0 +1,264 @@
+//! Property tests pinning the packed-batch training engine to the
+//! autograd tape, the gradient oracle: on arbitrary generated nets
+//! (tree and non-tree) and arbitrary architecture variants, a
+//! single-graph pack must reproduce the tape gradients exactly, and a
+//! multi-graph pack must match the summed per-graph tape gradients
+//! within 1e-6 relative error (the tall weight-grad GEMM regroups the
+//! same terms). Plus behavioral pins: a short packed training run
+//! reaches the same loss as the tape backend, and a poisoned batch
+//! falls back to the per-graph tape without aborting the epoch.
+
+use gnn::batch::GraphBatch;
+use gnn::grad::TrainScratch;
+use gnn::models::{GnnTrans, GnnTransConfig, GraphModel};
+use gnn::train::{train, TrainBackend, TrainConfig};
+use gnn::GnnError;
+use netgen::nets::{NetConfig, NetGenerator};
+use proptest::prelude::*;
+use tensor::{Mat, Tape};
+
+const NODE_DIM: usize = 5;
+const PATH_DIM: usize = 3;
+
+fn batch_for(seed: u64, nontree: bool) -> GraphBatch {
+    let cfg = NetConfig {
+        nodes_min: 4,
+        nodes_max: 20,
+        ..Default::default()
+    };
+    let net = NetGenerator::new(seed, cfg).net(format!("g{seed}"), nontree);
+    let n = net.node_count();
+    let x = Mat::from_vec(
+        n,
+        NODE_DIM,
+        (0..n * NODE_DIM)
+            .map(|i| ((i as f32 + seed as f32) * 0.41).sin() * 0.5)
+            .collect(),
+    )
+    .expect("sized");
+    let paths = net.paths().len();
+    let pf = (0..paths)
+        .map(|i| Mat::row_vector(vec![i as f32 * 0.1, -0.2, 0.3]))
+        .collect();
+    let t = Mat::from_vec(
+        paths,
+        2,
+        (0..paths * 2)
+            .map(|i| ((i as f32 + seed as f32) * 0.23).cos() * 0.4 + 0.5)
+            .collect(),
+    )
+    .expect("targets");
+    GraphBatch::build(&net, x, pf, Some(t)).expect("valid batch")
+}
+
+fn model_for(
+    seed: u64,
+    gnn_layers: usize,
+    attn_layers: usize,
+    weighted: bool,
+    norm: bool,
+    pathfeat: bool,
+) -> GnnTrans {
+    let cfg = GnnTransConfig {
+        node_dim: NODE_DIM,
+        path_dim: PATH_DIM,
+        hidden: 8,
+        gnn_layers,
+        attn_layers,
+        heads: 2,
+        mlp_hidden: 8,
+        weighted_aggregation: weighted,
+        attn_norm: norm,
+        path_features: pathfeat,
+    };
+    GnnTrans::new(&cfg, seed)
+}
+
+/// The oracle: one graph's loss and gradients off a fresh tape.
+fn tape_grads(model: &GnnTrans, batch: &GraphBatch) -> (f32, Vec<(usize, Mat)>) {
+    let mut tape = Tape::new();
+    let pred = model.forward(&mut tape, batch);
+    let loss = tape.mse_loss(pred, batch.targets.as_ref().expect("labelled"));
+    tape.backward(loss);
+    (tape.value(loss).get(0, 0), tape.param_grads())
+}
+
+/// Infinity-norm relative deviation between two matrices.
+fn rel_err(a: &Mat, b: &Mat) -> f32 {
+    let mut num = 0.0f32;
+    let mut den = 1e-9f32;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        num = num.max((x - y).abs());
+        den = den.max(x.abs()).max(y.abs());
+    }
+    num / den
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A pack of one graph is the tape, value for value: same losses,
+    /// same gradient matrices (plain `f32` equality), same id order.
+    #[test]
+    fn single_graph_pack_reproduces_tape_exactly(
+        seed in 0u64..10_000,
+        nontree in any::<bool>(),
+        gnn_layers in 1usize..3,
+        attn_layers in 1usize..3,
+        weighted in any::<bool>(),
+        norm in any::<bool>(),
+        pathfeat in any::<bool>(),
+    ) {
+        let model = model_for(seed, gnn_layers, attn_layers, weighted, norm, pathfeat);
+        let trainer = model.packed_trainer().expect("GnnTrans packs");
+        let batch = batch_for(seed, nontree);
+        let (tape_loss, oracle) = tape_grads(&model, &batch);
+        let mut scratch = TrainScratch::new();
+        let step = trainer.step(model.param_set(), &[&batch], &mut scratch).expect("step");
+        prop_assert_eq!(step.losses, vec![tape_loss]);
+        prop_assert_eq!(step.grads.len(), oracle.len());
+        for ((id_p, g_p), (id_t, g_t)) in step.grads.iter().zip(&oracle) {
+            prop_assert_eq!(id_p, id_t, "gradient order diverged from tape");
+            prop_assert_eq!(g_p, g_t, "param {} diverged", model.param_set().name(*id_p));
+        }
+    }
+
+    /// A multi-graph pack matches the tape sum within 1e-6 relative
+    /// (weight grads regroup into one tall GEMM); per-graph losses stay
+    /// bit-identical regardless of pack composition.
+    #[test]
+    fn multi_graph_pack_is_pinned_to_tape_sum(
+        seed in 0u64..10_000,
+        k in 2usize..6,
+        weighted in any::<bool>(),
+        norm in any::<bool>(),
+    ) {
+        let model = model_for(seed, 2, 1, weighted, norm, true);
+        let trainer = model.packed_trainer().expect("GnnTrans packs");
+        let batches: Vec<GraphBatch> =
+            (0..k).map(|i| batch_for(seed + i as u64, i % 2 == 1)).collect();
+        let refs: Vec<&GraphBatch> = batches.iter().collect();
+        let mut scratch = TrainScratch::new();
+        let step = trainer.step(model.param_set(), &refs, &mut scratch).expect("step");
+
+        let mut tape_losses = Vec::with_capacity(k);
+        let mut oracle: Vec<(usize, Mat)> = Vec::new();
+        for b in &batches {
+            let (loss, grads) = tape_grads(&model, b);
+            tape_losses.push(loss);
+            for (id, g) in grads {
+                match oracle.iter_mut().find(|(i, _)| *i == id) {
+                    Some((_, acc)) => acc.axpy(1.0, &g),
+                    None => oracle.push((id, g)),
+                }
+            }
+        }
+        prop_assert_eq!(step.losses, tape_losses);
+        for ((id_p, g_p), (id_t, g_t)) in step.grads.iter().zip(&oracle) {
+            prop_assert_eq!(id_p, id_t);
+            let rel = rel_err(g_p, g_t);
+            prop_assert!(
+                rel <= 1e-6,
+                "param {} rel err {} exceeds 1e-6",
+                model.param_set().name(*id_p),
+                rel
+            );
+        }
+    }
+}
+
+/// Trained-model quality is unchanged: at `accum = 1` the packed
+/// backend IS the tape run bit for bit; at `accum > 1` the regrouped
+/// weight-grad sums keep the loss within noise of the tape backend.
+#[test]
+fn packed_training_reaches_tape_loss() {
+    let batches: Vec<GraphBatch> = (0..8).map(|i| batch_for(100 + i, i.is_multiple_of(3))).collect();
+    let cfg_for = |backend: TrainBackend, accum: usize| TrainConfig {
+        epochs: 6,
+        seed: 7,
+        accum,
+        backend,
+        ..Default::default()
+    };
+
+    // accum = 1: single-graph packs are exact, so the whole training
+    // trajectory is bit-identical.
+    let mut tape_model = model_for(3, 2, 1, true, true, true);
+    let tape = train(&mut tape_model, &batches, &cfg_for(TrainBackend::Tape, 1)).unwrap();
+    let mut packed_model = model_for(3, 2, 1, true, true, true);
+    let packed = train(&mut packed_model, &batches, &cfg_for(TrainBackend::Packed, 1)).unwrap();
+    assert_eq!(tape.epoch_losses, packed.epoch_losses);
+    assert_eq!(
+        tape_model.predict(&batches[0]),
+        packed_model.predict(&batches[0])
+    );
+    assert!(packed.fallbacks == 0 && packed.arena_bytes_peak > 0);
+    assert!(packed.graphs_per_s > 0.0);
+
+    // accum = 4: trajectories may differ in the last bits; final loss
+    // must agree within noise and both must actually learn.
+    let mut tape_model = model_for(3, 2, 1, true, true, true);
+    let tape = train(&mut tape_model, &batches, &cfg_for(TrainBackend::Tape, 4)).unwrap();
+    let mut packed_model = model_for(3, 2, 1, true, true, true);
+    let packed = train(&mut packed_model, &batches, &cfg_for(TrainBackend::Packed, 4)).unwrap();
+    let (lt, lp) = (tape.final_loss(), packed.final_loss());
+    assert!(
+        (lt - lp).abs() <= 1e-4 * lt.abs().max(lp.abs()).max(1e-3),
+        "packed final loss {lp} drifted from tape {lp} vs {lt}"
+    );
+    assert!(lt < tape.epoch_losses[0], "tape backend must learn");
+    assert!(lp < packed.epoch_losses[0], "packed backend must learn");
+}
+
+/// A poisoned batch (non-finite features) makes the packed step
+/// non-finite; the trainer re-runs that pack on the per-graph tape —
+/// counted in `train.fallbacks` — finishes the epoch, and reports the
+/// same divergence the tape backend would.
+#[test]
+fn poisoned_batch_falls_back_to_tape_without_aborting_epoch() {
+    let mut batches: Vec<GraphBatch> = (0..4).map(|i| batch_for(200 + i, false)).collect();
+    let rows = batches[1].x.rows();
+    batches[1].x = Mat::full(rows, NODE_DIM, f32::NAN);
+
+    let fallback_count = || {
+        obs::metrics::snapshot()
+            .counters
+            .iter()
+            .filter(|(k, _)| k.name == "train.fallbacks")
+            .map(|(_, v)| *v)
+            .sum::<u64>()
+    };
+    let before = fallback_count();
+
+    let cfg = TrainConfig {
+        epochs: 1,
+        seed: 0,
+        accum: 4, // one chunk = one pack holding the poisoned graph
+        backend: TrainBackend::Packed,
+        ..Default::default()
+    };
+    let mut model = model_for(5, 2, 1, true, true, true);
+    let err = train(&mut model, &batches, &cfg).unwrap_err();
+    assert!(
+        matches!(err, GnnError::Diverged { epoch: 0 }),
+        "poisoned data must surface as divergence, got {err:?}"
+    );
+    assert!(
+        fallback_count() > before,
+        "packed trainer must count tape fallbacks for the poisoned pack"
+    );
+
+    // The tape backend diverges identically — the fallback changes
+    // accounting, not semantics.
+    let mut model = model_for(5, 2, 1, true, true, true);
+    let tape_err = train(
+        &mut model,
+        &batches,
+        &TrainConfig {
+            backend: TrainBackend::Tape,
+            ..cfg
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(tape_err, GnnError::Diverged { epoch: 0 }));
+}

@@ -117,6 +117,7 @@ impl RunReport {
         self.push_par_section(&mut out);
         self.push_solver_section(&mut out);
         self.push_infer_section(&mut out);
+        self.push_train_section(&mut out);
         out.push('}');
         out
     }
@@ -292,6 +293,64 @@ impl RunReport {
         out.push('}');
     }
 
+    /// Emits a derived `"train"` section summarizing the packed
+    /// training engine: the `train.arena_bytes` gauge, the
+    /// `train.fallbacks` counter (graphs re-run on the per-graph tape),
+    /// pack-size distributions (`train.batch_graphs` /
+    /// `train.batch_nodes`) and the forward/backward GEMM time split
+    /// (`train.forward_seconds` / `train.backward_seconds`), so one
+    /// glance at a run report answers "did training actually run the
+    /// packed backward, and how big were its packs". Empty-but-present
+    /// when no training ran.
+    fn push_train_section(&self, out: &mut String) {
+        let gauge = |name: &str| {
+            self.metrics
+                .gauges
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let counter = |name: &str| {
+            self.metrics
+                .counters
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        out.push_str(",\"train\":{\"arena_bytes\":");
+        json::push_f64(out, gauge("train.arena_bytes"));
+        out.push_str(",\"fallbacks\":");
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{}", counter("train.fallbacks")));
+        for (field, name) in [
+            ("batch_graphs", "train.batch_graphs"),
+            ("batch_nodes", "train.batch_nodes"),
+            ("forward", "train.forward_seconds"),
+            ("backward", "train.backward_seconds"),
+        ] {
+            let hist = self
+                .metrics
+                .histograms
+                .iter()
+                .find(|(k, _)| k.name == name && k.label.is_none())
+                .map(|(_, h)| h);
+            let _ = std::fmt::Write::write_fmt(out, format_args!(",\"{field}\":{{\"count\":"));
+            let _ = std::fmt::Write::write_fmt(
+                out,
+                format_args!("{}", hist.map(|h| h.count()).unwrap_or(0)),
+            );
+            out.push_str(",\"sum\":");
+            json::push_f64(out, hist.map(|h| h.sum()).unwrap_or(0.0));
+            out.push_str(",\"mean\":");
+            json::push_f64(out, hist.map(|h| h.mean()).unwrap_or(0.0));
+            out.push_str(",\"p95\":");
+            json::push_f64(out, hist.map(|h| h.quantile(0.95)).unwrap_or(0.0));
+            out.push('}');
+        }
+        out.push('}');
+    }
+
     /// Writes the JSON report to `path` (plus a trailing newline).
     pub fn write_file(&self, path: &str) -> std::io::Result<()> {
         let mut file = std::fs::File::create(path)?;
@@ -416,6 +475,24 @@ mod tests {
         assert!(json.contains("\"batch_graphs\":{\"count\":2"));
         assert!(json.contains("\"packed\":{\"count\":1"));
         assert!(json.contains("\"unpacked\":{\"count\":0"));
+    }
+
+    #[test]
+    fn report_has_derived_train_section() {
+        crate::metrics::gauge("train.arena_bytes").set(8192.0);
+        crate::metrics::counter("train.fallbacks").add(3);
+        let h = crate::metrics::histogram_with("train.batch_graphs", None, || vec![1.0, 8.0, 64.0]);
+        h.observe(8.0);
+        h.observe(2.0);
+        let t = crate::metrics::histogram("train.backward_seconds");
+        t.observe(0.004);
+        let json = RunReport::capture().to_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"train\":{\"arena_bytes\":8192"));
+        assert!(json.contains("\"fallbacks\":3"));
+        assert!(json.contains("\"batch_graphs\":{\"count\":2"));
+        assert!(json.contains("\"backward\":{\"count\":1"));
+        assert!(json.contains("\"forward\":{\"count\":0"));
     }
 
     #[test]

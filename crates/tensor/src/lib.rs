@@ -17,7 +17,11 @@
 //!   parameter sets;
 //! * [`infer`] — tape-free forward-only ops over a reusable buffer
 //!   [`infer::Arena`] for the serving hot path (bit-identical to the
-//!   tape forward).
+//!   tape forward);
+//! * [`grad`] — tape-free backward kernels (matmul grads via fused
+//!   `gemm_tn`/`gemm_nt`, segment-masked softmax backward, layer-norm
+//!   backward, segment mean-rows backward) so packed training runs
+//!   without tape construction, pinned to [`Tape`] gradients.
 //!
 //! Every differentiable operation is verified against finite differences
 //! in the test suite.
@@ -45,6 +49,7 @@
 //! assert!((params.get(w).get(0, 0) - 2.0).abs() < 1e-3);
 //! ```
 
+pub mod grad;
 pub mod infer;
 pub mod init;
 pub mod kernels;

@@ -17,6 +17,10 @@ cargo test -q --workspace
 PAR_THREADS=4 PAR_FORCE_POOL=1 cargo test -q -p gnntrans --test par_determinism
 PAR_THREADS=4 PAR_FORCE_POOL=1 cargo test -q -p gnn --test par_determinism
 
+# Packed-training determinism gate: an epoch whose chunks split into
+# multiple packs must be bit-identical at 1 vs 4 pool threads.
+PAR_THREADS=4 PAR_FORCE_POOL=1 cargo test -q -p gnn --test packed_determinism
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Compute-layer smoke: kernels + 1-vs-N pool runs at a reduced step
@@ -29,6 +33,12 @@ cargo run -q -p bench --release --bin compute -- --steps 2 \
 # forward within 1e-6 relative error on every path.
 cargo run -q -p bench --release --bin infer -- --smoke \
     --out target/BENCH_infer_smoke.json
+
+# Training-engine smoke: packed-vs-tape gradient parity (asserted at
+# 1e-6) plus a short packed-training run at reduced sizes — the 2-step
+# epoch exercise of the analytic backward through the packed kernels.
+cargo run -q -p bench --release --bin train -- --smoke \
+    --out target/BENCH_train_smoke.json
 
 # Sparse-solver gates: the dense-vs-sparse golden agreement tests, then
 # the rcsim bench smoke (small sizes, both backends), which asserts the
